@@ -1,0 +1,58 @@
+//! Dense-FFT substrate bench: sequential plan vs parallel plan vs batched
+//! mode vs Bluestein, at the sizes the sparse pipeline actually uses
+//! (B-sized subsampled transforms and odd-length filter construction).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fft::cplx::Cplx;
+use fft::{bluestein_fft, BatchPlan, Direction, ParallelPlan, Plan};
+
+fn signal(n: usize) -> Vec<Cplx> {
+    (0..n)
+        .map(|i| Cplx::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+
+    for log2n in [12u32, 16, 18] {
+        let n = 1usize << log2n;
+        let x = signal(n);
+        let plan = Plan::new(n);
+        let pplan = ParallelPlan::new(n);
+        group.bench_with_input(BenchmarkId::new("plan_seq", log2n), &x, |b, x| {
+            b.iter(|| plan.transform(x, Direction::Forward))
+        });
+        group.bench_with_input(BenchmarkId::new("plan_parallel", log2n), &x, |b, x| {
+            b.iter(|| pplan.transform(x, Direction::Forward))
+        });
+    }
+
+    // Batched mode at sFFT bucket geometry: 16 rows of 4096.
+    let bp = BatchPlan::new(4096, 16);
+    let rows = signal(bp.total_len());
+    group.bench_function("batched_16x4096", |b| {
+        b.iter(|| {
+            let mut buf = rows.clone();
+            bp.process_parallel(&mut buf, Direction::Forward);
+            buf
+        })
+    });
+
+    // Bluestein at an odd filter-construction size.
+    let odd = signal(12289);
+    group.bench_function("bluestein_12289", |b| {
+        b.iter(|| bluestein_fft(&odd, Direction::Forward))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Selection-algorithm bench (Section V-B ablation): sort&select vs
+//! quickselect vs BucketSelect vs the paper's threshold selection, on
+//! sFFT-shaped (spiky) magnitude data.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kselect::{
+    bucket_select, noise_floor_threshold, quickselect_top_k, sort_select, threshold_select,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// sFFT-like magnitudes: k large spikes over a tiny noise floor.
+fn spiky(b: usize, k: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<f64> = (0..b).map(|_| rng.gen_range(0.0..1e-6)).collect();
+    for _ in 0..k {
+        let i = rng.gen_range(0..b);
+        v[i] = rng.gen_range(0.5..2.0);
+    }
+    v
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+
+    for log2b in [12u32, 16] {
+        let b = 1usize << log2b;
+        let k = 100;
+        let data = spiky(b, k, 5);
+        let thresh = noise_floor_threshold(&data, 512, 16.0);
+
+        group.bench_with_input(BenchmarkId::new("sort_select", log2b), &data, |bch, d| {
+            bch.iter(|| sort_select(d, k))
+        });
+        group.bench_with_input(BenchmarkId::new("quickselect", log2b), &data, |bch, d| {
+            bch.iter(|| quickselect_top_k(d, k))
+        });
+        group.bench_with_input(BenchmarkId::new("bucket_select", log2b), &data, |bch, d| {
+            bch.iter(|| bucket_select(d, k))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("threshold_select", log2b),
+            &data,
+            |bch, d| bch.iter(|| threshold_select(d, thresh)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,515 @@
+//! `reproduce` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [target] [--full] [--k K] [--out DIR]
+//!
+//! targets:
+//!   table1    GPU test-bench (paper Table I)
+//!   table2    CPU test-bench (paper Table II)
+//!   fig1      toy inner-loop walk-through (paper Figure 1)
+//!   fig2a     per-step profile vs n          fig2b  per-step profile vs k
+//!   fig5a     runtime vs n                   fig5b  runtime vs k
+//!   fig5c     speedup over cuFFT             fig5d  speedup over FFTW
+//!   fig5e     speedup over PsFFT             fig5f  L1 error vs k
+//!   ablation  Section V design-choice ablations
+//!   all       everything above (default)
+//! ```
+//!
+//! The default ("quick") profile scales the paper's sweep down to sizes a
+//! laptop-class host handles in minutes (`n` up to 2^20, `k = 100`);
+//! `--full` extends to `n = 2^24` and `k = 1000` (the paper's sparsity).
+//! CSVs land in `results/` next to the printed tables.
+
+use std::path::PathBuf;
+
+use bench::{fmt_ratio, fmt_secs, Table};
+use gpu_sim::{CpuSpec, DeviceSpec};
+
+struct Opts {
+    target: String,
+    full: bool,
+    k: Option<usize>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Opts {
+    let mut target = "all".to_string();
+    let mut full = false;
+    let mut k = None;
+    let mut out = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--k" => {
+                k = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--k needs an integer"),
+                );
+            }
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            "--help" | "-h" => {
+                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb all");
+                println!("flags:   --full (paper-scale sweep)  --k K  --out DIR");
+                std::process::exit(0);
+            }
+            t => target = t.to_string(),
+        }
+    }
+    Opts {
+        target,
+        full,
+        k,
+        out,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let seed = 0xc0ffee;
+
+    // Sweep profile: quick (default) vs full (paper-scale).
+    let (n_lo, n_hi) = if opts.full { (18u32, 24u32) } else { (14u32, 20u32) };
+    let k = opts.k.unwrap_or(if opts.full { 1000 } else { 100 });
+    let fixed_n = if opts.full { 24 } else { 20 };
+    let ks: Vec<usize> = if opts.full {
+        vec![100, 200, 400, 600, 800, 1000]
+    } else {
+        vec![25, 50, 100, 200, 400]
+    };
+
+    let run = |name: &str| opts.target == name || opts.target == "all";
+
+    if run("table1") {
+        table1(&opts);
+    }
+    if run("table2") {
+        table2(&opts);
+    }
+    if run("fig1") {
+        fig1();
+    }
+    if run("fig2a") {
+        fig2a(&opts, n_lo, n_hi, k, seed);
+    }
+    if run("fig2b") {
+        fig2b(&opts, fixed_n, &ks, seed);
+    }
+    // Figures 5(a)/(c)/(d)/(e) share one sweep.
+    let sweep_needed = ["fig5a", "fig5c", "fig5d", "fig5e"].iter().any(|t| run(t));
+    let sweep: Vec<bench::RuntimePoint> = if sweep_needed {
+        eprintln!("[sweep] n = 2^{n_lo}..2^{n_hi}, k = {k} (this is the slow part)");
+        bench::fig5a(n_lo..=n_hi, k, seed)
+    } else {
+        Vec::new()
+    };
+    if run("fig5a") {
+        fig5a(&opts, &sweep);
+    }
+    if run("fig5b") {
+        fig5b(&opts, fixed_n, &ks, seed);
+    }
+    if run("fig5c") {
+        fig5c(&opts, &sweep);
+    }
+    if run("fig5d") {
+        fig5d(&opts, &sweep);
+    }
+    if run("fig5e") {
+        fig5e(&opts, &sweep);
+    }
+    if run("fig5f") {
+        fig5f(&opts, fixed_n, &ks, seed);
+    }
+    if run("ablation") {
+        ablation(&opts, n_lo, n_hi, k, seed);
+    }
+    if run("fig2gpu") {
+        fig2gpu(&opts, n_lo, n_hi, k, seed);
+    }
+    if run("noise") {
+        noise(&opts, fixed_n.min(18), k.min(64), seed);
+    }
+    if run("devices") {
+        devices(&opts, fixed_n.min(18), k.min(64), seed);
+    }
+    if run("comb") {
+        comb(&opts, n_lo, n_hi, k, seed);
+    }
+}
+
+/// Extension: the device-clock analogue of Figure 2.
+fn fig2gpu(opts: &Opts, n_lo: u32, n_hi: u32, k: usize, seed: u64) {
+    let rows = bench::fig2_gpu(n_lo..=n_hi, k, seed);
+    let mut t = Table::new(
+        &format!("GPU step breakdown vs n (k={k}, optimized, simulated)"),
+        &["log2(n)", "perm+filter", "subFFT", "cutoff", "locate", "estimate", "transfer", "total"],
+    );
+    for r in &rows {
+        let s = r.steps;
+        let total = s.total().max(f64::MIN_POSITIVE);
+        t.row(vec![
+            r.log2_n.to_string(),
+            format!("{:.1}%", s.perm_filter / total * 100.0),
+            format!("{:.1}%", s.subsampled_fft / total * 100.0),
+            format!("{:.1}%", s.cutoff / total * 100.0),
+            format!("{:.1}%", s.locate / total * 100.0),
+            format!("{:.1}%", s.estimate / total * 100.0),
+            format!("{:.1}%", s.transfer / total * 100.0),
+            fmt_secs(total),
+        ]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "fig2gpu");
+}
+
+/// Extension: AWGN robustness of the optimized pipeline.
+fn noise(opts: &Opts, log2_n: u32, k: usize, seed: u64) {
+    let snrs = [60.0, 40.0, 30.0, 20.0, 10.0];
+    let rows = bench::noise_sweep(log2_n, k, &snrs, seed);
+    let mut t = Table::new(
+        &format!("Noise robustness (n=2^{log2_n}, k={k}, cusFFT optimized)"),
+        &["SNR(dB)", "recall", "L1 error"],
+    );
+    for p in rows {
+        t.row(vec![
+            format!("{:.0}", p.snr_db),
+            format!("{:.3}", p.recall),
+            format!("{:.2e}", p.l1),
+        ]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "noise");
+}
+
+/// Extension: device sensitivity (future-work architectures).
+fn devices(opts: &Opts, log2_n: u32, k: usize, seed: u64) {
+    let rows = bench::device_sweep(log2_n, k, seed);
+    let mut t = Table::new(
+        &format!("Device sensitivity (n=2^{log2_n}, k={k})"),
+        &["device", "cusFFT-opt (sim)"],
+    );
+    for (name, time) in rows {
+        t.row(vec![name, fmt_secs(time)]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "devices");
+}
+
+/// Extension: sFFT v1 vs v2 (comb pre-filter) on the CPU.
+fn comb(opts: &Opts, n_lo: u32, n_hi: u32, k: usize, seed: u64) {
+    let mut t = Table::new(
+        "sFFT v1 vs v2 (comb pre-filter, CPU wall time)",
+        &["log2(n)", "v1", "v2", "v1 hits", "v2 hits", "residues kept"],
+    );
+    for log2_n in (n_lo..=n_hi).step_by(2) {
+        let a = bench::comb_ablation(log2_n, k.min((1usize << log2_n) / 8), seed);
+        t.row(vec![
+            a.log2_n.to_string(),
+            fmt_secs(a.v1_wall),
+            fmt_secs(a.v2_wall),
+            a.v1_hits.to_string(),
+            a.v2_hits.to_string(),
+            a.residues_kept.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "comb");
+}
+
+fn table1(opts: &Opts) {
+    let mut t = Table::new(
+        "Table I: GPU test-bench (simulated device)",
+        &["device", "cc", "cores/SMs", "clock", "shared", "global", "bandwidth"],
+    );
+    for spec in [DeviceSpec::tesla_k20x(), DeviceSpec::tesla_k40()] {
+        t.row(vec![
+            spec.name.clone(),
+            format!("{:.1}", spec.compute_capability),
+            format!("{} / {}", spec.sm_count * spec.cores_per_sm, spec.sm_count),
+            format!("{:.0} MHz", spec.clock_ghz * 1e3),
+            format!("{} KB", spec.shared_mem_per_sm / 1024),
+            format!("{} GB", spec.global_mem_bytes >> 30),
+            format!("{:.0} GB/s", spec.mem_bandwidth / 1e9),
+        ]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "table1");
+}
+
+fn table2(opts: &Opts) {
+    let cpu = CpuSpec::xeon_e5_2640();
+    let mut t = Table::new(
+        "Table II: CPU test-bench",
+        &["processor", "arch", "cores", "clock", "L3", "DRAM"],
+    );
+    t.row(vec![
+        cpu.name.clone(),
+        cpu.architecture.clone(),
+        cpu.cores.to_string(),
+        format!("{:.2} GHz", cpu.clock_ghz),
+        format!("{} MB", cpu.llc_bytes >> 20),
+        format!("{} GB", cpu.dram_bytes >> 30),
+    ]);
+    print!("{}", t.render());
+    println!("note: {}", bench::host::current_host());
+    let _ = t.write_csv(&opts.out, "table2");
+}
+
+/// Figure 1: a toy walk-through of one inner loop (binning a 3-sparse
+/// spectrum into buckets).
+fn fig1() {
+    use fft::Plan;
+    use sfft_cpu::inner::{perm_filter, subsample_fft};
+    use sfft_cpu::{Permutation, SfftParams};
+    use signal::{MagnitudeModel, SparseSignal};
+
+    let n = 4096;
+    let params = SfftParams::tuned(n, 3);
+    let s = SparseSignal::generate(n, 3, MagnitudeModel::Unit, 7);
+    let perm = Permutation::new(101, 0, n);
+    let mut buckets = perm_filter(&s.time, &params.filter_loc, params.b_loc, &perm);
+    subsample_fft(&mut buckets, &Plan::new(params.b_loc));
+
+    println!(
+        "== Fig 1: inner-loop example (n={n}, k=3, B={}) ==",
+        params.b_loc
+    );
+    println!(
+        "true frequencies: {:?}",
+        s.coords.iter().map(|&(f, _)| f).collect::<Vec<_>>()
+    );
+    let n_div_b = n / params.b_loc;
+    for &(f, _) in &s.coords {
+        let g = perm.permuted_freq(f);
+        let bucket = ((g + n_div_b / 2) / n_div_b) % params.b_loc;
+        println!(
+            "  f={f:5} -> permuted g={g:5} -> bucket {bucket:3}  |Z*n|={:.4}",
+            buckets[bucket].abs() * n as f64
+        );
+    }
+    let loud = buckets.iter().filter(|z| z.abs() * n as f64 > 0.1).count();
+    println!("loud buckets: {loud} (out of {})", params.b_loc);
+}
+
+fn profile_table(title: &str, key: &str, rows: &[bench::ProfileRow], by_k: bool) -> Table {
+    let mut t = Table::new(
+        title,
+        &[key, "perm+filter", "subFFT", "cutoff", "locate", "estimate", "total"],
+    );
+    for r in rows {
+        let sh = r.timings.shares();
+        t.row(vec![
+            if by_k {
+                r.k.to_string()
+            } else {
+                r.log2_n.to_string()
+            },
+            format!("{:.1}%", sh[0] * 100.0),
+            format!("{:.1}%", sh[1] * 100.0),
+            format!("{:.1}%", sh[2] * 100.0),
+            format!("{:.1}%", sh[3] * 100.0),
+            format!("{:.1}%", sh[4] * 100.0),
+            fmt_secs(r.timings.total),
+        ]);
+    }
+    t
+}
+
+fn fig2a(opts: &Opts, n_lo: u32, n_hi: u32, k: usize, seed: u64) {
+    let rows = bench::fig2a(n_lo..=n_hi, k, seed);
+    let t = profile_table(
+        &format!("Fig 2(a): sFFT per-step time vs n (k={k})"),
+        "log2(n)",
+        &rows,
+        false,
+    );
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "fig2a");
+}
+
+fn fig2b(opts: &Opts, log2_n: u32, ks: &[usize], seed: u64) {
+    let rows = bench::fig2b(log2_n, ks, seed);
+    let t = profile_table(
+        &format!("Fig 2(b): sFFT per-step time vs k (n=2^{log2_n})"),
+        "k",
+        &rows,
+        true,
+    );
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "fig2b");
+}
+
+fn runtime_table(title: &str, key: &str, rows: &[bench::RuntimePoint], by_k: bool) -> Table {
+    let mut t = Table::new(
+        title,
+        &[key, "cusFFT-base", "cusFFT-opt", "cuFFT", "PsFFT", "FFTW"],
+    );
+    for p in rows {
+        t.row(vec![
+            if by_k {
+                p.k.to_string()
+            } else {
+                p.log2_n.to_string()
+            },
+            fmt_secs(p.cusfft_base),
+            fmt_secs(p.cusfft_opt),
+            fmt_secs(p.cufft),
+            fmt_secs(p.psfft_wall),
+            fmt_secs(p.fftw_wall),
+        ]);
+    }
+    t
+}
+
+fn fig5a(opts: &Opts, sweep: &[bench::RuntimePoint]) {
+    let t = runtime_table(
+        "Fig 5(a): runtime vs n (GPU simulated, CPU host wall)",
+        "log2(n)",
+        sweep,
+        false,
+    );
+    print!("{}", t.render());
+    let series = vec![
+        bench::Series::new(
+            "cusFFT-opt",
+            sweep.iter().map(|p| (p.log2_n as f64, p.cusfft_opt)).collect(),
+        ),
+        bench::Series::new(
+            "cusFFT-base",
+            sweep.iter().map(|p| (p.log2_n as f64, p.cusfft_base)).collect(),
+        ),
+        bench::Series::new(
+            "cuFFT",
+            sweep.iter().map(|p| (p.log2_n as f64, p.cufft)).collect(),
+        ),
+        bench::Series::new(
+            "FFTW (wall)",
+            sweep.iter().map(|p| (p.log2_n as f64, p.fftw_wall)).collect(),
+        ),
+    ];
+    if !sweep.is_empty() {
+        print!(
+            "{}",
+            bench::render_chart("Fig 5(a) — seconds (log2 y) vs log2(n)", &series, 56, 16)
+        );
+    }
+    let _ = t.write_csv(&opts.out, "fig5a");
+}
+
+fn fig5b(opts: &Opts, log2_n: u32, ks: &[usize], seed: u64) {
+    eprintln!("[fig5b] n = 2^{log2_n}, k sweep {ks:?}");
+    let rows = bench::fig5b(log2_n, ks, seed);
+    let t = runtime_table(
+        &format!("Fig 5(b): runtime vs k (n=2^{log2_n})"),
+        "k",
+        &rows,
+        true,
+    );
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "fig5b");
+}
+
+fn fig5c(opts: &Opts, sweep: &[bench::RuntimePoint]) {
+    let mut t = Table::new(
+        "Fig 5(c): speedup of cusFFT over cuFFT",
+        &["log2(n)", "baseline", "optimized"],
+    );
+    for p in sweep {
+        let (b, o) = p.speedup_over_cufft();
+        t.row(vec![p.log2_n.to_string(), fmt_ratio(b), fmt_ratio(o)]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "fig5c");
+}
+
+fn fig5d(opts: &Opts, sweep: &[bench::RuntimePoint]) {
+    let mut t = Table::new(
+        "Fig 5(d): speedup of cusFFT (opt, incl. input transfer) over parallel FFTW",
+        &["log2(n)", "speedup"],
+    );
+    for p in sweep {
+        t.row(vec![p.log2_n.to_string(), fmt_ratio(p.speedup_over_fftw())]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "fig5d");
+}
+
+fn fig5e(opts: &Opts, sweep: &[bench::RuntimePoint]) {
+    let mut t = Table::new(
+        "Fig 5(e): speedup of cusFFT (opt, incl. input transfer) over PsFFT",
+        &["log2(n)", "speedup"],
+    );
+    for p in sweep {
+        t.row(vec![p.log2_n.to_string(), fmt_ratio(p.speedup_over_psfft())]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "fig5e");
+}
+
+fn fig5f(opts: &Opts, log2_n: u32, ks: &[usize], seed: u64) {
+    eprintln!("[fig5f] n = 2^{log2_n}, k sweep {ks:?}");
+    let rows = bench::fig5f(log2_n, ks, seed);
+    let mut t = Table::new(
+        &format!("Fig 5(f): L1 error per large coefficient (n=2^{log2_n})"),
+        &["k", "baseline", "optimized"],
+    );
+    for (k, b, o) in rows {
+        t.row(vec![k.to_string(), format!("{b:.2e}"), format!("{o:.2e}")]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "fig5f");
+}
+
+fn ablation(opts: &Opts, n_lo: u32, n_hi: u32, k: usize, seed: u64) {
+    let mut t = Table::new(
+        "Ablation A: perm+filter kernel (simulated time per invocation)",
+        &["log2(n)", "atomic-hist", "loop-partition", "async-layout"],
+    );
+    for log2_n in (n_lo..=n_hi).step_by(2) {
+        let a = bench::filter_ablation(log2_n, k.min((1usize << log2_n) / 8), seed);
+        t.row(vec![
+            a.log2_n.to_string(),
+            fmt_secs(a.atomic),
+            fmt_secs(a.partition),
+            fmt_secs(a.async_layout),
+        ]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "ablation_filter");
+
+    let mut t2 = Table::new(
+        "Ablation B: cutoff selection (simulated)",
+        &["B", "sort&select", "fast-select", "BucketSelect passes"],
+    );
+    for log2_b in [12u32, 14, 16] {
+        let s = bench::selection_ablation(1 << log2_b, k, seed);
+        t2.row(vec![
+            s.b.to_string(),
+            fmt_secs(s.sort),
+            fmt_secs(s.fast),
+            s.bucket_passes.to_string(),
+        ]);
+    }
+    print!("{}", t2.render());
+    let _ = t2.write_csv(&opts.out, "ablation_selection");
+
+    let mut t3 = Table::new(
+        "Ablation C: batched vs per-loop cuFFT (model)",
+        &["B", "loops", "batched", "separate"],
+    );
+    for log2_b in [12u32, 15] {
+        let (batched, separate) = bench::batched_fft_ablation(1 << log2_b, 16);
+        t3.row(vec![
+            (1usize << log2_b).to_string(),
+            "16".into(),
+            fmt_secs(batched),
+            fmt_secs(separate),
+        ]);
+    }
+    print!("{}", t3.render());
+    let _ = t3.write_csv(&opts.out, "ablation_batched_fft");
+}

@@ -1,0 +1,490 @@
+//! Experiment runners — one function per table/figure of the paper's
+//! evaluation (see DESIGN.md for the experiment index).
+//!
+//! Every runner is deterministic given its seed. GPU-side numbers are
+//! simulated-device seconds from `gpu-sim`'s cost model; CPU-side numbers
+//! are wall-clock on the current host (see EXPERIMENTS.md for how the two
+//! are compared).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cusfft::{cufft_dense_baseline, cufft_model_time, CusFft, Variant};
+use fft::{Direction, ParallelPlan};
+use gpu_sim::{DeviceSpec, GpuDevice, DEFAULT_STREAM};
+use sfft_cpu::{psfft, sfft_profiled, SfftParams, StepTimings};
+use signal::{l1_error_per_coeff, support_recall, MagnitudeModel, SparseSignal};
+
+/// One point of the Figure 5 runtime comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimePoint {
+    /// log2 of the signal size.
+    pub log2_n: u32,
+    /// Sparsity.
+    pub k: usize,
+    /// cusFFT baseline variant — simulated device seconds (input
+    /// device-resident).
+    pub cusfft_base: f64,
+    /// cusFFT optimized variant — simulated device seconds.
+    pub cusfft_opt: f64,
+    /// Input PCIe transfer (added for GPU-vs-CPU comparisons).
+    pub input_transfer: f64,
+    /// Dense cuFFT — simulated device seconds (same convention).
+    pub cufft: f64,
+    /// PsFFT — wall seconds on this host.
+    pub psfft_wall: f64,
+    /// Parallel dense FFT ("FFTW") — wall seconds on this host.
+    pub fftw_wall: f64,
+    /// L1 error per large coefficient, baseline variant.
+    pub l1_base: f64,
+    /// L1 error per large coefficient, optimized variant.
+    pub l1_opt: f64,
+    /// Support recall of the optimized variant.
+    pub recall_opt: f64,
+}
+
+impl RuntimePoint {
+    /// Fig 5(c): speedup of each cusFFT variant over cuFFT (GPU vs GPU —
+    /// both with device-resident inputs).
+    pub fn speedup_over_cufft(&self) -> (f64, f64) {
+        (self.cufft / self.cusfft_base, self.cufft / self.cusfft_opt)
+    }
+
+    /// Fig 5(d): speedup of optimized cusFFT over parallel FFTW (GPU vs
+    /// CPU — the GPU pays the input transfer).
+    pub fn speedup_over_fftw(&self) -> f64 {
+        self.fftw_wall / (self.cusfft_opt + self.input_transfer)
+    }
+
+    /// Fig 5(e): speedup of optimized cusFFT over PsFFT (GPU vs CPU).
+    pub fn speedup_over_psfft(&self) -> f64 {
+        self.psfft_wall / (self.cusfft_opt + self.input_transfer)
+    }
+}
+
+/// Measures one `(n, k)` point with every implementation.
+pub fn runtime_point(log2_n: u32, k: usize, seed: u64) -> RuntimePoint {
+    let n = 1usize << log2_n;
+    let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, seed);
+    let params = Arc::new(SfftParams::tuned(n, k));
+
+    // GPU sparse: both variants on fresh devices.
+    let dev_b = Arc::new(GpuDevice::new(DeviceSpec::tesla_k20x()));
+    let base = CusFft::new(dev_b, params.clone(), Variant::Baseline).execute(&s.time, seed);
+    let dev_o = Arc::new(GpuDevice::new(DeviceSpec::tesla_k20x()));
+    let opt = CusFft::new(dev_o, params.clone(), Variant::Optimized).execute(&s.time, seed);
+
+    // GPU dense (cuFFT).
+    let dev_c = GpuDevice::new(DeviceSpec::tesla_k20x());
+    let _ = cufft_dense_baseline(&dev_c, &s.time, DEFAULT_STREAM);
+    let cufft = dev_c.elapsed();
+
+    // CPU sparse (PsFFT) — wall clock.
+    let t0 = Instant::now();
+    let _ = psfft(&params, &s.time, seed);
+    let psfft_wall = t0.elapsed().as_secs_f64();
+
+    // CPU dense ("parallel FFTW") — wall clock.
+    let plan = ParallelPlan::new(n);
+    let mut buf = s.time.clone();
+    let t1 = Instant::now();
+    plan.process(&mut buf, Direction::Forward);
+    let fftw_wall = t1.elapsed().as_secs_f64();
+
+    RuntimePoint {
+        log2_n,
+        k,
+        cusfft_base: base.sim_time,
+        cusfft_opt: opt.sim_time,
+        input_transfer: opt.input_transfer,
+        cufft,
+        psfft_wall,
+        fftw_wall,
+        l1_base: l1_error_per_coeff(&s.coords, &base.recovered),
+        l1_opt: l1_error_per_coeff(&s.coords, &opt.recovered),
+        recall_opt: support_recall(&s.coords, &opt.recovered),
+    }
+}
+
+/// Fig 5(a): runtime vs signal size at fixed sparsity.
+pub fn fig5a(log2_range: impl Iterator<Item = u32>, k: usize, seed: u64) -> Vec<RuntimePoint> {
+    log2_range.map(|l| runtime_point(l, k, seed)).collect()
+}
+
+/// Fig 5(b): runtime vs sparsity at fixed signal size.
+pub fn fig5b(log2_n: u32, ks: &[usize], seed: u64) -> Vec<RuntimePoint> {
+    ks.iter().map(|&k| runtime_point(log2_n, k, seed)).collect()
+}
+
+/// Fig 5(f): L1 error per large coefficient vs sparsity.
+pub fn fig5f(log2_n: u32, ks: &[usize], seed: u64) -> Vec<(usize, f64, f64)> {
+    ks.iter()
+        .map(|&k| {
+            let p = runtime_point(log2_n, k, seed);
+            (k, p.l1_base, p.l1_opt)
+        })
+        .collect()
+}
+
+/// One row of the Figure 2 profile: per-step shares of sequential sFFT.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileRow {
+    /// log2 n.
+    pub log2_n: u32,
+    /// Sparsity.
+    pub k: usize,
+    /// Per-step timings.
+    pub timings: StepTimings,
+}
+
+/// Fig 2(a): per-step time distribution vs n at fixed k.
+pub fn fig2a(log2_range: impl Iterator<Item = u32>, k: usize, seed: u64) -> Vec<ProfileRow> {
+    log2_range
+        .map(|log2_n| profile_point(log2_n, k, seed))
+        .collect()
+}
+
+/// Fig 2(b): per-step time distribution vs k at fixed n.
+pub fn fig2b(log2_n: u32, ks: &[usize], seed: u64) -> Vec<ProfileRow> {
+    ks.iter().map(|&k| profile_point(log2_n, k, seed)).collect()
+}
+
+fn profile_point(log2_n: u32, k: usize, seed: u64) -> ProfileRow {
+    let n = 1usize << log2_n;
+    let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, seed);
+    let params = SfftParams::tuned(n, k);
+    let (_, timings) = sfft_profiled(&params, &s.time, seed);
+    ProfileRow {
+        log2_n,
+        k,
+        timings,
+    }
+}
+
+/// Ablation A (Section V-A): permutation+filter kernel variants.
+#[derive(Debug, Clone, Copy)]
+pub struct FilterAblation {
+    /// log2 n.
+    pub log2_n: u32,
+    /// Atomic-histogram strawman time (simulated).
+    pub atomic: f64,
+    /// Loop-partition (Algorithm 2) time.
+    pub partition: f64,
+    /// Async data-layout transformation time.
+    pub async_layout: f64,
+}
+
+/// Runs the perm+filter kernel ablation at one size.
+pub fn filter_ablation(log2_n: u32, k: usize, seed: u64) -> FilterAblation {
+    use cusfft::perm_filter::{perm_filter_async, perm_filter_atomic, perm_filter_partition};
+    use fft::cplx::ZERO;
+    use gpu_sim::DeviceBuffer;
+    use sfft_cpu::Permutation;
+
+    let n = 1usize << log2_n;
+    let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, seed);
+    let params = SfftParams::tuned(n, k);
+    let b = params.b_loc;
+    let w = params.filter_loc.width();
+    let w_pad = w.div_ceil(b) * b;
+    let mut taps = params.filter_loc.taps().to_vec();
+    taps.resize(w_pad, ZERO);
+
+    let device = GpuDevice::new(DeviceSpec::tesla_k20x());
+    let signal = DeviceBuffer::from_host(&s.time);
+    let taps_buf = DeviceBuffer::from_host(&taps);
+    let perm = Permutation::new((1001 % n) | 1, 0, n);
+
+    device.reset_clock();
+    let _ = perm_filter_atomic(&device, &signal, &taps_buf, w, b, &perm, DEFAULT_STREAM);
+    let atomic = device.elapsed();
+
+    device.reset_clock();
+    let mut out = DeviceBuffer::zeroed(b);
+    perm_filter_partition(
+        &device, &signal, &taps_buf, w_pad, w, b, &perm, &mut out, DEFAULT_STREAM,
+    );
+    let partition = device.elapsed();
+
+    device.reset_clock();
+    let streams: Vec<_> = (0..8).map(|_| device.create_stream()).collect();
+    let mut out2 = DeviceBuffer::zeroed(b);
+    perm_filter_async(
+        &device, &signal, &taps_buf, w_pad, w, b, &perm, &mut out2, &streams, DEFAULT_STREAM,
+    );
+    let async_layout = device.elapsed();
+
+    FilterAblation {
+        log2_n,
+        atomic,
+        partition,
+        async_layout,
+    }
+}
+
+/// Ablation B (Section V-B): cutoff selection strategies on sFFT-shaped
+/// (spiky) bucket magnitudes. Returns `(sort, bucket_select_passes,
+/// fast_select)` simulated times plus the BucketSelect pass count.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionAblation {
+    /// Bucket count.
+    pub b: usize,
+    /// Thrust-style sort&select time (simulated).
+    pub sort: f64,
+    /// Fast threshold selection time (simulated).
+    pub fast: f64,
+    /// BucketSelect refinement passes on the spiky data (work proxy; the
+    /// paper's argument for not using it).
+    pub bucket_passes: u32,
+}
+
+/// Runs the selection ablation for a bucket vector of size `b` with `k`
+/// spikes.
+pub fn selection_ablation(b: usize, k: usize, seed: u64) -> SelectionAblation {
+    use cusfft::cutoff::{fast_select_device, magnitudes_device, sort_select_device};
+    use fft::Cplx;
+    use gpu_sim::DeviceBuffer;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut buckets = vec![fft::cplx::ZERO; b];
+    for slot in buckets.iter_mut() {
+        *slot = Cplx::new(rng.gen_range(0.0..1e-6), 0.0);
+    }
+    for _ in 0..k {
+        let i = rng.gen_range(0..b);
+        buckets[i] = Cplx::new(rng.gen_range(0.5..2.0), rng.gen_range(-1.0..1.0));
+    }
+
+    let device = GpuDevice::new(DeviceSpec::tesla_k20x());
+    let bucket_buf = DeviceBuffer::from_host(&buckets);
+    let mags = magnitudes_device(&device, &bucket_buf, DEFAULT_STREAM);
+
+    device.reset_clock();
+    let _ = sort_select_device(&device, &mags, k, DEFAULT_STREAM);
+    let sort = device.elapsed();
+
+    device.reset_clock();
+    let _ = fast_select_device(&device, &mags, 1e-3, DEFAULT_STREAM);
+    let fast = device.elapsed();
+
+    let bucket_passes = kselect::bucket_select(mags.as_slice(), k).stats.passes;
+
+    SelectionAblation {
+        b,
+        sort,
+        fast,
+        bucket_passes,
+    }
+}
+
+/// GPU-side step breakdown (the device-clock analogue of Figure 2,
+/// showing where the paper's optimisations move the time).
+#[derive(Debug, Clone, Copy)]
+pub struct GpuProfileRow {
+    /// log2 n.
+    pub log2_n: u32,
+    /// Step breakdown of the optimized pipeline (simulated seconds).
+    pub steps: cusfft::StepBreakdown,
+}
+
+/// Sweeps the GPU step breakdown over signal sizes.
+pub fn fig2_gpu(log2_range: impl Iterator<Item = u32>, k: usize, seed: u64) -> Vec<GpuProfileRow> {
+    log2_range
+        .map(|log2_n| {
+            let n = 1usize << log2_n;
+            let s = SparseSignal::generate(n, k.min(n / 8), MagnitudeModel::Unit, seed);
+            let params = Arc::new(SfftParams::tuned(n, k.min(n / 8)));
+            let out = CusFft::new(
+                Arc::new(GpuDevice::new(DeviceSpec::tesla_k20x())),
+                params,
+                Variant::Optimized,
+            )
+            .execute(&s.time, seed);
+            GpuProfileRow {
+                log2_n,
+                steps: out.steps,
+            }
+        })
+        .collect()
+}
+
+/// One row of the noise-robustness sweep (our extension experiment:
+/// the paper evaluates noiseless signals; this quantifies the voting
+/// threshold's tolerance).
+#[derive(Debug, Clone, Copy)]
+pub struct NoisePoint {
+    /// Signal-to-noise ratio in dB.
+    pub snr_db: f64,
+    /// Support recall of the optimized cusFFT.
+    pub recall: f64,
+    /// L1 error per large coefficient.
+    pub l1: f64,
+}
+
+/// Sweeps AWGN levels at fixed `(n, k)`.
+pub fn noise_sweep(log2_n: u32, k: usize, snrs: &[f64], seed: u64) -> Vec<NoisePoint> {
+    let n = 1usize << log2_n;
+    let params = Arc::new(SfftParams::tuned(n, k));
+    let plan = CusFft::new(
+        Arc::new(GpuDevice::new(DeviceSpec::tesla_k20x())),
+        params,
+        Variant::Optimized,
+    );
+    snrs.iter()
+        .map(|&snr_db| {
+            let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, seed);
+            let mut noisy = s.time.clone();
+            signal::add_awgn(&mut noisy, snr_db, seed ^ 0x5a5a);
+            let out = plan.execute(&noisy, seed);
+            NoisePoint {
+                snr_db,
+                recall: support_recall(&s.coords, &out.recovered),
+                l1: l1_error_per_coeff(&s.coords, &out.recovered),
+            }
+        })
+        .collect()
+}
+
+/// Device-sensitivity sweep (the paper's future work mentions other
+/// architectures): the same workload on different simulated parts.
+pub fn device_sweep(log2_n: u32, k: usize, seed: u64) -> Vec<(String, f64)> {
+    let n = 1usize << log2_n;
+    let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, seed);
+    let params = Arc::new(SfftParams::tuned(n, k));
+    [DeviceSpec::tesla_k20x(), DeviceSpec::tesla_k40()]
+        .into_iter()
+        .map(|spec| {
+            let name = spec.name.clone();
+            let out = CusFft::new(Arc::new(GpuDevice::new(spec)), params.clone(), Variant::Optimized)
+                .execute(&s.time, seed);
+            (name, out.sim_time)
+        })
+        .collect()
+}
+
+/// sFFT v1 vs v2 (comb pre-filter) on the CPU: wall time and hit counts.
+#[derive(Debug, Clone, Copy)]
+pub struct CombAblation {
+    /// log2 n.
+    pub log2_n: u32,
+    /// v1 wall seconds.
+    pub v1_wall: f64,
+    /// v2 wall seconds (includes the comb passes).
+    pub v2_wall: f64,
+    /// Hits v1 estimated (true + spurious).
+    pub v1_hits: usize,
+    /// Hits v2 estimated — the comb starves spurious candidates.
+    pub v2_hits: usize,
+    /// Residues the comb kept.
+    pub residues_kept: usize,
+}
+
+/// Runs the v1-vs-v2 comb ablation.
+pub fn comb_ablation(log2_n: u32, k: usize, seed: u64) -> CombAblation {
+    use sfft_cpu::{sfft_v2, CombParams};
+    let n = 1usize << log2_n;
+    let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, seed);
+    let params = SfftParams::tuned(n, k);
+    let comb = CombParams::tuned(n, k);
+
+    let t0 = Instant::now();
+    let v1 = sfft_cpu::sfft(&params, &s.time, seed);
+    let v1_wall = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let (v2, stats) = sfft_v2(&params, &comb, &s.time, seed);
+    let v2_wall = t1.elapsed().as_secs_f64();
+
+    CombAblation {
+        log2_n,
+        v1_wall,
+        v2_wall,
+        v1_hits: v1.len(),
+        v2_hits: v2.len(),
+        residues_kept: stats.residues_kept,
+    }
+}
+
+/// Batched vs per-loop cuFFT (the Step-3 design choice).
+pub fn batched_fft_ablation(b: usize, loops: usize) -> (f64, f64) {
+    let device = GpuDevice::new(DeviceSpec::tesla_k20x());
+    let batched = cufft_model_time(&device, b, loops);
+    let separate = loops as f64 * cufft_model_time(&device, b, 1);
+    (batched, separate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_point_is_consistent() {
+        let p = runtime_point(12, 8, 3);
+        assert!(p.cusfft_base > 0.0 && p.cusfft_opt > 0.0 && p.cufft > 0.0);
+        assert!(p.psfft_wall > 0.0 && p.fftw_wall > 0.0);
+        assert!(p.l1_opt < 1e-3, "l1 {}", p.l1_opt);
+        assert!(p.recall_opt > 0.99);
+        assert!(p.speedup_over_cufft().1 > 0.0);
+    }
+
+    #[test]
+    fn fig2_profile_rows() {
+        let rows = fig2a(10..=11, 4, 1);
+        assert_eq!(rows.len(), 2);
+        for r in rows {
+            let sum: f64 = r.timings.shares().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn filter_ablation_ordering() {
+        let a = filter_ablation(14, 16, 2);
+        assert!(
+            a.async_layout < a.partition,
+            "async {:.3e} < partition {:.3e}",
+            a.async_layout,
+            a.partition
+        );
+        assert!(a.atomic > 0.0);
+    }
+
+    #[test]
+    fn selection_ablation_ordering() {
+        let s = selection_ablation(1 << 13, 32, 5);
+        assert!(s.fast < s.sort, "fast {:.2e} < sort {:.2e}", s.fast, s.sort);
+        assert!(s.bucket_passes >= 1);
+    }
+
+    #[test]
+    fn batched_fft_wins() {
+        let (batched, separate) = batched_fft_ablation(4096, 16);
+        assert!(batched < separate);
+    }
+
+    #[test]
+    fn noise_sweep_degrades_gracefully() {
+        let pts = noise_sweep(12, 8, &[60.0, 20.0], 3);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].recall > 0.99, "clean-ish signal fully recovered");
+        assert!(pts[0].l1 < pts[1].l1 * 10.0, "error grows with noise");
+    }
+
+    #[test]
+    fn device_sweep_orders_devices() {
+        let rows = device_sweep(13, 16, 1);
+        assert_eq!(rows.len(), 2);
+        let k20x = rows.iter().find(|(n, _)| n.contains("K20x")).unwrap().1;
+        let k40 = rows.iter().find(|(n, _)| n.contains("K40")).unwrap().1;
+        assert!(k40 < k20x);
+    }
+
+    #[test]
+    fn comb_ablation_reduces_hits() {
+        let a = comb_ablation(14, 16, 9);
+        assert!(a.v2_hits <= a.v1_hits + 16);
+        assert!(a.residues_kept > 0);
+        assert!(a.v1_wall > 0.0 && a.v2_wall > 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Host introspection for the Table II reproduction: the paper reports
+//! its CPU test-bench; we report both the paper's reference machine and
+//! the machine the CPU baselines actually ran on.
+
+use gpu_sim::CpuSpec;
+
+/// Best-effort description of the current host.
+pub fn current_host() -> String {
+    let cores = num_cpus::get();
+    let physical = num_cpus::get_physical();
+    format!(
+        "current host | {} logical / {} physical cores | (CPU baselines measured here)",
+        cores, physical
+    )
+}
+
+/// The paper's CPU test-bench row (Table II).
+pub fn paper_cpu() -> CpuSpec {
+    CpuSpec::xeon_e5_2640()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_row_renders() {
+        let s = current_host();
+        assert!(s.contains("cores"));
+    }
+
+    #[test]
+    fn paper_cpu_is_sandy_bridge() {
+        assert_eq!(paper_cpu().architecture, "Sandy Bridge");
+    }
+}

@@ -1,0 +1,26 @@
+//! # `bench` — the reproduction harness
+//!
+//! One runner per table and figure of the paper's evaluation (Section VI),
+//! plus ablations for the Section V design choices. The `reproduce`
+//! binary drives these and prints the same rows/series the paper reports;
+//! the criterion benches under `benches/` cover the micro-level kernels.
+//!
+//! * [`experiments::fig2a`] / [`experiments::fig2b`] — per-step profiles;
+//! * [`experiments::fig5a`] / [`experiments::fig5b`] — runtime sweeps;
+//! * [`experiments::fig5f`] — L1 error vs sparsity;
+//! * [`experiments::filter_ablation`] / [`experiments::selection_ablation`]
+//!   / [`experiments::batched_fft_ablation`] — Section V ablations;
+//! * [`table`] — aligned-table + CSV output; [`host`] — Table II helpers.
+
+pub mod experiments;
+pub mod host;
+pub mod table;
+pub mod viz;
+
+pub use experiments::{
+    batched_fft_ablation, comb_ablation, device_sweep, fig2a, fig2b, fig5a, fig5b, fig5f,
+    fig2_gpu, filter_ablation, noise_sweep, runtime_point, selection_ablation, CombAblation,
+    FilterAblation, GpuProfileRow, NoisePoint, ProfileRow, RuntimePoint, SelectionAblation,
+};
+pub use table::{fmt_ratio, fmt_secs, Table};
+pub use viz::{render_chart, Series};

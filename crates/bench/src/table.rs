@@ -1,0 +1,136 @@
+//! Aligned-table rendering and CSV output for the reproduction harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned table with a title.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a header row.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `dir/<name>.csv`.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.join(","));
+        }
+        fs::write(dir.join(format!("{name}.csv")), s)
+    }
+}
+
+/// Formats seconds adaptively (s / ms / µs).
+pub fn fmt_secs(t: f64) -> String {
+    if t >= 1.0 {
+        format!("{t:.3}s")
+    } else if t >= 1e-3 {
+        format!("{:.3}ms", t * 1e3)
+    } else {
+        format!("{:.1}us", t * 1e6)
+    }
+}
+
+/// Formats a dimensionless ratio.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long_column"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "x".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long_column"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_written() {
+        let dir = std::env::temp_dir().join("cusfft_table_test");
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.write_csv(&dir, "demo").unwrap();
+        let s = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(s, "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(2.5), "2.500s");
+        assert_eq!(fmt_secs(0.0025), "2.500ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.5us");
+        assert_eq!(fmt_ratio(2.0), "2.00x");
+    }
+}

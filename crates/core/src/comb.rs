@@ -1,0 +1,104 @@
+//! GPU comb pre-filter (sFFT v2 on the device): subsample kernel +
+//! M-point cuFFT + magnitude kernel + residue selection. Enabled on a
+//! [`crate::CusFft`] plan via [`crate::CusFft::with_comb`].
+
+use fft::cplx::Cplx;
+use gpu_sim::{DeviceBuffer, GpuDevice, LaunchConfig, StreamId};
+use rand::Rng;
+use sfft_cpu::CombParams;
+
+use crate::cufft::batched_fft_device;
+use crate::cutoff::magnitudes_device;
+
+const BLOCK: u32 = 256;
+
+/// Runs the comb passes on the device and returns the residue mask
+/// (`mask[f % M]` true ⇒ frequency f stays a candidate). Consumes
+/// `comb_loops` offset draws from `rng` — the same stream discipline as
+/// `sfft_cpu::comb::comb_mask`, so CPU and GPU masks coincide per seed.
+pub fn comb_mask_device<R: Rng>(
+    device: &GpuDevice,
+    signal: &DeviceBuffer<Cplx>,
+    n: usize,
+    k: usize,
+    comb: &CombParams,
+    rng: &mut R,
+    stream: StreamId,
+) -> Vec<bool> {
+    let m = comb.comb_size;
+    assert!(m > 0 && n.is_multiple_of(m), "comb size {m} must divide n={n}");
+    let stride = n / m;
+    let mut score = vec![0.0f64; m];
+
+    for _ in 0..comb.comb_loops {
+        let tau = rng.gen_range(0..n);
+        // Subsample kernel: y[i] = x[(τ + i·n/M) mod n]. The reads stride
+        // by n/M — scattered, so they go through the read-only path.
+        let mut sub: DeviceBuffer<Cplx> = DeviceBuffer::zeroed(m);
+        let cfg = LaunchConfig::for_elements(m, BLOCK);
+        device.launch_map("comb_subsample", cfg, stream, &mut sub, |ctx, gm| {
+            let i = ctx.global_id();
+            gm.ld_ro(signal, (tau + i * stride) % n)
+        });
+        // M-point FFT under the cuFFT model.
+        batched_fft_device(device, std::slice::from_mut(&mut sub), m, stream, "cufft_comb");
+        let mags = magnitudes_device(device, &sub, stream);
+        for (s, v) in score.iter_mut().zip(mags.as_slice()) {
+            *s = s.max(*v);
+        }
+    }
+
+    let keep = (comb.keep_factor * k).min(m);
+    let selected = kselect::quickselect_top_k(&score, keep);
+    let mut mask = vec![false; m];
+    for i in selected {
+        mask[i] = true;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DEFAULT_STREAM;
+    use rand::SeedableRng;
+    use signal::{MagnitudeModel, SparseSignal};
+
+    #[test]
+    fn device_mask_keeps_true_residues() {
+        let n = 1 << 13;
+        let k = 12;
+        let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, 3);
+        let comb = CombParams::tuned(n, k);
+        let device = GpuDevice::k20x();
+        let signal = DeviceBuffer::from_host(&s.time);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mask = comb_mask_device(&device, &signal, n, k, &comb, &mut rng, DEFAULT_STREAM);
+        for &(f, _) in &s.coords {
+            assert!(mask[f % comb.comb_size], "lost residue of f={f}");
+        }
+        let kept = mask.iter().filter(|&&b| b).count();
+        assert!(kept <= comb.keep_factor * k + k);
+        // The comb work was charged on the device clock.
+        assert!(device.elapsed() > 0.0);
+        let names: Vec<String> = device.records().iter().map(|r| r.name.clone()).collect();
+        assert!(names.iter().any(|x| x.starts_with("comb_subsample")));
+        assert!(names.iter().any(|x| x.starts_with("cufft_comb")));
+    }
+
+    #[test]
+    fn device_mask_matches_cpu_mask_support() {
+        let n = 1 << 12;
+        let k = 8;
+        let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, 7);
+        let comb = CombParams::tuned(n, k);
+        let device = GpuDevice::k20x();
+        let signal = DeviceBuffer::from_host(&s.time);
+        let mut grng = rand::rngs::StdRng::seed_from_u64(9);
+        let gpu_mask = comb_mask_device(&device, &signal, n, k, &comb, &mut grng, DEFAULT_STREAM);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let cpu_mask = sfft_cpu::comb::comb_mask(&s.time, k, &comb, &mut rng);
+        // Same RNG stream → same offsets → identical masks.
+        assert_eq!(gpu_mask, cpu_mask);
+    }
+}

@@ -1,0 +1,53 @@
+//! # `cusfft` — the paper's contribution: a sparse FFT on the (simulated) GPU
+//!
+//! This crate implements cusFFT (Wang, Chandrasekaran, Chapman — IPDPS
+//! 2016) against the CUDA-shaped execution model in `gpu-sim`:
+//!
+//! * [`perm_filter`] — Algorithms 1-2 (index mapping, loop partition) and
+//!   the Section V asynchronous data-layout transformation;
+//! * [`cufft`] — the batched/dense cuFFT stand-in with a Kepler cost model;
+//! * [`cutoff`] — Algorithm 3 (Thrust sort&select) and Algorithm 6 (fast
+//!   k-selection);
+//! * [`locate`] — Algorithm 4 (reverse-hash voting);
+//! * [`reconstruct`] — Algorithm 5 (median magnitude reconstruction);
+//! * [`pipeline`] — the full [`CusFft`] plan with [`Variant::Baseline`]
+//!   and [`Variant::Optimized`] tiers (the two cusFFT curves of Figure 5),
+//!   plus an optional sFFT-v2 comb pre-filter ([`CusFft::with_comb`],
+//!   kernels in [`comb`]);
+//! * [`report`] — step-level timing breakdowns.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cusfft::{CusFft, Variant};
+//! use gpu_sim::GpuDevice;
+//! use sfft_cpu::SfftParams;
+//! use signal::{MagnitudeModel, SparseSignal};
+//!
+//! let n = 1 << 12;
+//! let k = 8;
+//! let signal = SparseSignal::generate(n, k, MagnitudeModel::Unit, 1);
+//! let plan = CusFft::new(
+//!     Arc::new(GpuDevice::k20x()),
+//!     Arc::new(SfftParams::tuned(n, k)),
+//!     Variant::Optimized,
+//! );
+//! let out = plan.execute(&signal.time, 42);
+//! assert!(signal.coords.iter().all(|&(f, _)|
+//!     out.recovered.iter().any(|&(g, _)| g == f)));
+//! println!("simulated device time: {:.3} ms", out.sim_time * 1e3);
+//! ```
+
+pub mod comb;
+pub mod cufft;
+pub mod cutoff;
+pub mod locate;
+pub mod perm_filter;
+pub mod pipeline;
+pub mod reconstruct;
+pub mod report;
+
+pub use cufft::{batched_fft_device, cufft_dense_baseline, cufft_model_time};
+pub use pipeline::{CusFft, CusFftOutput, Variant};
+pub use report::StepBreakdown;

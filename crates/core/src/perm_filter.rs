@@ -1,0 +1,577 @@
+//! GPU permutation + filtering + binning (paper Algorithms 1-2, Section
+//! IV; async data-layout transformation, Section V-A).
+//!
+//! Three implementations, all producing the same buckets:
+//!
+//! * [`perm_filter_atomic`] — the "conventional histogram" strawman the
+//!   paper argues against: one thread per filter tap, `atomicAdd` into the
+//!   shared bucket array. Kept for the ablation bench.
+//! * [`perm_filter_partition`] — Algorithm 2 (the paper's *baseline*):
+//!   loop partition; thread `tid` owns bucket `tid` and serially reduces
+//!   the `w/B` taps that map to it. No replication, no atomics — but only
+//!   `B` threads, so the kernel is under-occupied and its scattered,
+//!   accumulator-chained loads are latency-bound.
+//! * [`perm_filter_async`] — the Section V optimisation: per chunk of `B`
+//!   taps, a *remap* kernel gathers the scattered signal reads into a
+//!   coalesced staging buffer and an *execution* kernel consumes it;
+//!   chunks round-robin over CUDA streams so the gathers and the compute
+//!   overlap, and a final reduction folds the per-chunk partials.
+//!
+//! Tap index convention matches `sfft-cpu`: tap `i` applies to time
+//! `t = i − w/2` and bucket `t mod B`; thread/bucket `tid` therefore owns
+//! taps `i ≡ tid + w/2 (mod B)`. Taps are zero-padded to a multiple of B
+//! (`w_pad`), which changes nothing numerically.
+
+use fft::cplx::{Cplx, ZERO};
+use gpu_sim::{
+    DevAtomicCplx, DeviceBuffer, GpuDevice, LaunchConfig, StreamId,
+};
+use sfft_cpu::perm::mul_mod;
+use sfft_cpu::Permutation;
+
+/// Threads per block used by the filter kernels.
+const BLOCK: u32 = 256;
+
+/// Signal index for tap `i`: `(τ + (i − w/2)·σ⁻¹) mod n` — the paper's
+/// *index mapping* (no dependence on the previous iteration).
+#[inline]
+pub fn tap_source_index(i: usize, half: usize, perm: &Permutation) -> usize {
+    let n = perm.n;
+    let t = (i + n - half) % n; // i − half (mod n); half < n always
+    (perm.tau + mul_mod(t, perm.ai, n)) % n
+}
+
+/// Strawman: per-tap threads with atomic bucket updates.
+pub fn perm_filter_atomic(
+    device: &GpuDevice,
+    signal: &DeviceBuffer<Cplx>,
+    taps: &DeviceBuffer<Cplx>,
+    w: usize,
+    b: usize,
+    perm: &Permutation,
+    stream: StreamId,
+) -> Vec<Cplx> {
+    let half = w / 2;
+    let acc = DevAtomicCplx::zeroed(b);
+    let cfg = LaunchConfig::for_elements(w, BLOCK);
+    device.launch_foreach("perm_filter_atomic", cfg, stream, |ctx, gm| {
+        let i = ctx.global_id();
+        if i >= w {
+            return;
+        }
+        let src = tap_source_index(i, half, perm);
+        let x = gm.ld(signal, src); // scattered
+        let t = gm.ld_ro(taps, i); // coalesced, read-only
+        gm.flops(8);
+        let bi = (i + b - half % b) % b;
+        acc.fetch_add(gm, bi, x * t);
+    });
+    acc.snapshot()
+}
+
+/// Algorithm 2: loop-partition kernel (the paper's baseline).
+///
+/// Writes the buckets into `out` (length `b`). `w_pad` must be a multiple
+/// of `b` and `taps` must be padded to `w_pad`.
+#[allow(clippy::too_many_arguments)]
+pub fn perm_filter_partition(
+    device: &GpuDevice,
+    signal: &DeviceBuffer<Cplx>,
+    taps: &DeviceBuffer<Cplx>,
+    w_pad: usize,
+    w: usize,
+    b: usize,
+    perm: &Permutation,
+    out: &mut DeviceBuffer<Cplx>,
+    stream: StreamId,
+) {
+    assert_eq!(w_pad % b, 0, "taps must be padded to a multiple of B");
+    assert_eq!(out.len(), b, "output must have B elements");
+    let half = w / 2;
+    let rounds = w_pad / b;
+    let cfg = LaunchConfig::for_elements(b, BLOCK);
+    device.launch_map("perm_filter_partition", cfg, stream, out, |ctx, gm| {
+        let tid = ctx.global_id();
+        let first = (tid + half) % b;
+        let mut acc = ZERO;
+        for j in 0..rounds {
+            let i = first + j * b;
+            let t = gm.ld_ro(taps, i); // coalesced
+            if t == ZERO {
+                continue; // padding tail
+            }
+            let src = tap_source_index(i, half, perm);
+            let x = gm.ld_acc(signal, src); // scattered, feeds accumulator
+            gm.flops(8);
+            acc = x.mul_add(t, acc);
+        }
+        acc
+    });
+}
+
+/// Why the conventional shared-memory histogram cannot run for a given
+/// bucket count (the paper's Section IV argument, made checkable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedMemOverflow {
+    /// Bytes one per-block sub-histogram needs.
+    pub required: usize,
+    /// Shared memory available per SM.
+    pub available: usize,
+    /// Bucket count that caused it.
+    pub b: usize,
+}
+
+impl std::fmt::Display for SharedMemOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "a per-block sub-histogram of B={} complex buckets needs {} B of shared memory, \
+             but the device has {} B per SM — the conventional histogram approach is \
+             inapplicable (paper Section IV)",
+            self.b, self.required, self.available
+        )
+    }
+}
+
+impl std::error::Error for SharedMemOverflow {}
+
+/// The conventional GPU-histogram approach with per-block sub-histograms
+/// in shared memory ([21], [22] in the paper): each block accumulates
+/// into its private copy, then merges into global memory with atomics.
+///
+/// Returns `Err` when `B` complex buckets do not fit in shared memory —
+/// which, as the paper points out, is the common case for sFFT
+/// (`B = √(nk/log n)` reaches thousands while 48 KB holds at most 3072
+/// complex-double bins per block).
+#[allow(clippy::too_many_arguments)]
+pub fn try_perm_filter_shared(
+    device: &GpuDevice,
+    signal: &DeviceBuffer<Cplx>,
+    taps: &DeviceBuffer<Cplx>,
+    w: usize,
+    b: usize,
+    perm: &Permutation,
+    stream: StreamId,
+) -> Result<Vec<Cplx>, SharedMemOverflow> {
+    let required = b * std::mem::size_of::<Cplx>();
+    let available = device.spec().shared_mem_per_sm;
+    if required > available {
+        return Err(SharedMemOverflow {
+            required,
+            available,
+            b,
+        });
+    }
+    let half = w / 2;
+    let cfg = LaunchConfig::for_elements(w, BLOCK).with_shared_mem(required as u32);
+    let grid_blocks = cfg.grid_dim as usize;
+
+    // Phase 1: per-block accumulation into shared memory. Shared-memory
+    // traffic is free of DRAM charges; the kernel still pays the
+    // scattered signal gather, and the shared-memory request throttles
+    // occupancy through the launch config. Functionally we accumulate
+    // into per-block host-side sub-histograms.
+    let subhist = DevAtomicCplx::zeroed(grid_blocks * b);
+    device.launch_foreach("perm_filter_shared", cfg, stream, |ctx, gm| {
+        let i = ctx.global_id();
+        if i >= w {
+            return;
+        }
+        let src = tap_source_index(i, half, perm);
+        let x = gm.ld(signal, src);
+        let t = gm.ld_ro(taps, i);
+        gm.flops(8);
+        let bi = (i + b - half % b) % b;
+        // In-block shared-memory atomics: functional accumulation without
+        // a DRAM trace (intra-block conflicts are negligible for B ≫ 32).
+        subhist.fetch_add_untraced(ctx.block_idx as usize * b + bi, x * t);
+    });
+
+    // Phase 2: merge the sub-histograms with global atomics — this is the
+    // part the paper calls "a major bottleneck to good performance".
+    let acc = DevAtomicCplx::zeroed(b);
+    let merge_cfg = LaunchConfig::for_elements(grid_blocks * b, BLOCK);
+    device.launch_foreach("perm_filter_shared_merge", merge_cfg, stream, |ctx, gm| {
+        let t = ctx.global_id();
+        if t >= grid_blocks * b {
+            return;
+        }
+        let v = subhist.load_untraced(t);
+        if v != ZERO {
+            acc.fetch_add(gm, t % b, v);
+        }
+    });
+    Ok(acc.snapshot())
+}
+
+/// Section V: asynchronous data-layout transformation.
+///
+/// `streams` are the CUDA streams the chunks round-robin over (the paper
+/// uses up to 32 concurrent kernels on GK110). `scratch` vectors are
+/// allocated internally; the final buckets land in `out`.
+#[allow(clippy::too_many_arguments)]
+pub fn perm_filter_async(
+    device: &GpuDevice,
+    signal: &DeviceBuffer<Cplx>,
+    taps: &DeviceBuffer<Cplx>,
+    w_pad: usize,
+    w: usize,
+    b: usize,
+    perm: &Permutation,
+    out: &mut DeviceBuffer<Cplx>,
+    streams: &[StreamId],
+    reduce_stream: StreamId,
+) {
+    assert_eq!(w_pad % b, 0, "taps must be padded to a multiple of B");
+    assert_eq!(out.len(), b, "output must have B elements");
+    assert!(!streams.is_empty(), "need at least one stream");
+    let half = w / 2;
+    let rounds = w_pad / b;
+    let spec = device.spec();
+
+    // Chunk size (in rounds of B taps): large enough that a remap
+    // kernel's DRAM time amortises its launch overhead, small enough that
+    // the staging buffer stays L2-resident (which is what lets the
+    // execution kernel consume it without DRAM traffic).
+    let min_chunk_elems =
+        (4.0 * spec.launch_overhead_us * 1e-6 * spec.effective_bandwidth() / 32.0) as usize;
+    let by_l2 = spec.l2_bytes / (16 * b); // rounds per chunk fitting L2
+    let mut rpc = (min_chunk_elems / b).clamp(1, rounds);
+    if by_l2 >= 1 {
+        rpc = rpc.min(by_l2);
+    }
+    let staged_cached = by_l2 >= 1; // B itself may exceed L2 at huge n
+    let chunks = rounds.div_ceil(rpc);
+
+    let cfg_b = LaunchConfig::for_elements(b, BLOCK);
+    let mut staged: Vec<DeviceBuffer<Cplx>> = (0..chunks)
+        .map(|c| {
+            let r_lo = c * rpc;
+            let cr = rpc.min(rounds - r_lo);
+            DeviceBuffer::zeroed(cr * b)
+        })
+        .collect();
+    let mut partial: Vec<DeviceBuffer<Cplx>> =
+        (0..chunks).map(|_| DeviceBuffer::zeroed(b)).collect();
+
+    for (c, (staged_c, partial_c)) in staged.iter_mut().zip(partial.iter_mut()).enumerate() {
+        let stream = streams[c % streams.len()];
+        let r_lo = c * rpc;
+        let cr = staged_c.len() / b;
+        // Remap kernel: gather the chunk's scattered signal reads into
+        // coalesced order. Loads are independent (index mapping) and feed
+        // no accumulator, so the kernel runs at full memory-level
+        // parallelism — this is where the paper's optimisation wins over
+        // the serially-stalling baseline loop.
+        let remap_cfg = LaunchConfig::for_elements(cr * b, BLOCK);
+        let remap_body = |ctx: gpu_sim::ThreadCtx, gm: &mut gpu_sim::Gmem<'_>| {
+            let t = ctx.global_id();
+            let i = r_lo * b + t;
+            let tap = gm.ld_ro(taps, i);
+            if tap == ZERO {
+                return ZERO;
+            }
+            let src = tap_source_index(i, half, perm);
+            // The gather goes through the read-only (`__ldg`) path: the
+            // signal is immutable for the kernel's duration, and Kepler
+            // services __ldg scatter as 32 B segments instead of full
+            // 128 B lines — the coalescing win of the transformation.
+            gm.ld_ro(signal, src)
+        };
+        if staged_cached {
+            device.launch_map_scratch("remap", remap_cfg, stream, staged_c, remap_body);
+        } else {
+            device.launch_map("remap", remap_cfg, stream, staged_c, remap_body);
+        }
+        // Execution kernel: consume the reordered data with coalesced
+        // accesses only; one partial bucket vector per chunk.
+        let staged_ref = &*staged_c;
+        device.launch_map("exec", cfg_b, stream, partial_c, |ctx, gm| {
+            let tid = ctx.global_id();
+            let pos = (tid + half) % b;
+            let mut acc = ZERO;
+            for j in 0..cr {
+                let x = if staged_cached {
+                    gm.ld_cached(staged_ref, j * b + pos)
+                } else {
+                    gm.ld(staged_ref, j * b + pos)
+                };
+                let tap = gm.ld_ro(taps, (r_lo + j) * b + pos);
+                gm.flops(8);
+                acc = x.mul_add(tap, acc);
+            }
+            acc
+        });
+    }
+
+    // Reduction: buckets[tid] = Σ_c partial[c][tid] (all reads coalesced).
+    // The reduce runs on `reduce_stream` and must wait for every chunk's
+    // execution kernel on the other streams (cudaStreamWaitEvent).
+    for &s in streams.iter().take(chunks) {
+        let ev = device.record_event(s);
+        device.stream_wait_event(reduce_stream, ev);
+    }
+    let partial_ref = &partial;
+    device.launch_map("bucket_reduce", cfg_b, reduce_stream, out, |ctx, gm| {
+        let tid = ctx.global_id();
+        let mut acc = ZERO;
+        for p in partial_ref {
+            acc += gm.ld(p, tid);
+            gm.flops(2);
+        }
+        acc
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fft::Plan;
+    use gpu_sim::{DeviceSpec, DEFAULT_STREAM};
+    use sfft_cpu::inner::perm_filter as cpu_perm_filter;
+    use sfft_cpu::SfftParams;
+    use signal::{MagnitudeModel, SparseSignal};
+
+    struct Setup {
+        device: GpuDevice,
+        params: SfftParams,
+        s: SparseSignal,
+        perm: Permutation,
+        taps_pad: Vec<Cplx>,
+        w_pad: usize,
+    }
+
+    fn setup() -> Setup {
+        let n = 1 << 12;
+        let params = SfftParams::tuned(n, 8);
+        let s = SparseSignal::generate(n, 8, MagnitudeModel::Unit, 77);
+        let perm = Permutation::new(1001, 13, n);
+        let w = params.filter_loc.width();
+        let b = params.b_loc;
+        let w_pad = w.div_ceil(b) * b;
+        let mut taps_pad = params.filter_loc.taps().to_vec();
+        taps_pad.resize(w_pad, ZERO);
+        Setup {
+            device: GpuDevice::new(DeviceSpec::tesla_k20x()),
+            params,
+            s,
+            perm,
+            taps_pad,
+            w_pad,
+        }
+    }
+
+    fn cpu_reference(su: &Setup) -> Vec<Cplx> {
+        cpu_perm_filter(&su.s.time, &su.params.filter_loc, su.params.b_loc, &su.perm)
+    }
+
+    fn assert_buckets_match(a: &[Cplx], b: &[Cplx], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(x.dist(*y) < tol, "bucket {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn partition_kernel_matches_cpu_reference() {
+        let su = setup();
+        let signal = DeviceBuffer::from_host(&su.s.time);
+        let taps = DeviceBuffer::from_host(&su.taps_pad);
+        let mut out = DeviceBuffer::zeroed(su.params.b_loc);
+        perm_filter_partition(
+            &su.device,
+            &signal,
+            &taps,
+            su.w_pad,
+            su.params.filter_loc.width(),
+            su.params.b_loc,
+            &su.perm,
+            &mut out,
+            DEFAULT_STREAM,
+        );
+        assert_buckets_match(&out.peek(), &cpu_reference(&su), 1e-10);
+    }
+
+    #[test]
+    fn atomic_kernel_matches_cpu_reference() {
+        let su = setup();
+        let signal = DeviceBuffer::from_host(&su.s.time);
+        let taps = DeviceBuffer::from_host(&su.taps_pad);
+        let got = perm_filter_atomic(
+            &su.device,
+            &signal,
+            &taps,
+            su.params.filter_loc.width(),
+            su.params.b_loc,
+            &su.perm,
+            DEFAULT_STREAM,
+        );
+        // Atomic accumulation order varies → slightly looser tolerance.
+        assert_buckets_match(&got, &cpu_reference(&su), 1e-9);
+    }
+
+    #[test]
+    fn async_kernel_matches_cpu_reference() {
+        let su = setup();
+        let signal = DeviceBuffer::from_host(&su.s.time);
+        let taps = DeviceBuffer::from_host(&su.taps_pad);
+        let mut out = DeviceBuffer::zeroed(su.params.b_loc);
+        let streams: Vec<StreamId> = (0..4).map(|_| su.device.create_stream()).collect();
+        perm_filter_async(
+            &su.device,
+            &signal,
+            &taps,
+            su.w_pad,
+            su.params.filter_loc.width(),
+            su.params.b_loc,
+            &su.perm,
+            &mut out,
+            &streams,
+            DEFAULT_STREAM,
+        );
+        assert_buckets_match(&out.peek(), &cpu_reference(&su), 1e-10);
+    }
+
+    #[test]
+    fn all_variants_feed_identical_spectra() {
+        let su = setup();
+        let signal = DeviceBuffer::from_host(&su.s.time);
+        let taps = DeviceBuffer::from_host(&su.taps_pad);
+        let b = su.params.b_loc;
+        let w = su.params.filter_loc.width();
+
+        let mut part = DeviceBuffer::zeroed(b);
+        perm_filter_partition(
+            &su.device, &signal, &taps, su.w_pad, w, b, &su.perm, &mut part, DEFAULT_STREAM,
+        );
+        let mut asy = DeviceBuffer::zeroed(b);
+        let streams: Vec<StreamId> = (0..2).map(|_| su.device.create_stream()).collect();
+        perm_filter_async(
+            &su.device, &signal, &taps, su.w_pad, w, b, &su.perm, &mut asy, &streams,
+            DEFAULT_STREAM,
+        );
+        let plan = Plan::new(b);
+        let mut za = part.peek();
+        let mut zb = asy.peek();
+        plan.process(&mut za, fft::Direction::Forward);
+        plan.process(&mut zb, fft::Direction::Forward);
+        assert_buckets_match(&za, &zb, 1e-8);
+    }
+
+    #[test]
+    fn async_variant_is_faster_in_simulated_time() {
+        // The headline mechanism: the optimized layout beats the
+        // under-occupied baseline kernel on the device clock.
+        let su = setup();
+        let signal = DeviceBuffer::from_host(&su.s.time);
+        let taps = DeviceBuffer::from_host(&su.taps_pad);
+        let b = su.params.b_loc;
+        let w = su.params.filter_loc.width();
+
+        su.device.reset_clock();
+        let mut part = DeviceBuffer::zeroed(b);
+        perm_filter_partition(
+            &su.device, &signal, &taps, su.w_pad, w, b, &su.perm, &mut part, DEFAULT_STREAM,
+        );
+        let t_baseline = su.device.elapsed();
+
+        su.device.reset_clock();
+        let streams: Vec<StreamId> = (0..8).map(|_| su.device.create_stream()).collect();
+        let mut asy = DeviceBuffer::zeroed(b);
+        perm_filter_async(
+            &su.device, &signal, &taps, su.w_pad, w, b, &su.perm, &mut asy, &streams,
+            DEFAULT_STREAM,
+        );
+        let t_async = su.device.elapsed();
+        assert!(
+            t_async < t_baseline,
+            "async {t_async:.3e}s should beat baseline {t_baseline:.3e}s"
+        );
+    }
+
+    #[test]
+    fn atomic_variant_pays_contention() {
+        let su = setup();
+        let signal = DeviceBuffer::from_host(&su.s.time);
+        let taps = DeviceBuffer::from_host(&su.taps_pad);
+        su.device.reset_clock();
+        let _ = perm_filter_atomic(
+            &su.device,
+            &signal,
+            &taps,
+            su.params.filter_loc.width(),
+            su.params.b_loc,
+            &su.perm,
+            DEFAULT_STREAM,
+        );
+        let rec = &su.device.records()[0];
+        assert!(rec.stats.atomic_ops > 0.0, "atomics must be traced");
+        assert!(rec.cost.t_atomic > 0.0, "contention must be charged");
+    }
+
+    #[test]
+    fn shared_histogram_matches_reference_when_b_fits() {
+        let su = setup(); // B = params.b_loc complex buckets
+        let b = su.params.b_loc;
+        assert!(
+            b * 16 <= su.device.spec().shared_mem_per_sm,
+            "test setup: B must fit shared memory"
+        );
+        let signal = DeviceBuffer::from_host(&su.s.time);
+        let taps = DeviceBuffer::from_host(&su.taps_pad);
+        let got = try_perm_filter_shared(
+            &su.device,
+            &signal,
+            &taps,
+            su.params.filter_loc.width(),
+            b,
+            &su.perm,
+            DEFAULT_STREAM,
+        )
+        .expect("B fits in shared memory");
+        assert_buckets_match(&got, &cpu_reference(&su), 1e-9);
+    }
+
+    #[test]
+    fn shared_histogram_rejects_oversized_b() {
+        // The paper's core argument: realistic sFFT bucket counts do not
+        // fit the 64 KB shared memory as complex doubles.
+        let su = setup();
+        let signal = DeviceBuffer::from_host(&su.s.time);
+        let taps = DeviceBuffer::from_host(&su.taps_pad);
+        let b = 8192; // 8192 × 16 B = 128 KB > 64 KB
+        let err = try_perm_filter_shared(
+            &su.device,
+            &signal,
+            &taps,
+            su.params.filter_loc.width(),
+            b,
+            &su.perm,
+            DEFAULT_STREAM,
+        )
+        .unwrap_err();
+        assert_eq!(err.b, b);
+        assert!(err.required > err.available);
+        assert!(err.to_string().contains("inapplicable"));
+    }
+
+    #[test]
+    #[should_panic(expected = "padded")]
+    fn unpadded_taps_rejected() {
+        let su = setup();
+        let signal = DeviceBuffer::from_host(&su.s.time);
+        let taps = DeviceBuffer::from_host(&su.taps_pad);
+        let mut out = DeviceBuffer::zeroed(su.params.b_loc);
+        perm_filter_partition(
+            &su.device,
+            &signal,
+            &taps,
+            su.w_pad + 1,
+            su.params.filter_loc.width(),
+            su.params.b_loc,
+            &su.perm,
+            &mut out,
+            DEFAULT_STREAM,
+        );
+    }
+}

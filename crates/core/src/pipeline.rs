@@ -1,0 +1,417 @@
+//! The full cusFFT pipeline on the simulated device.
+//!
+//! Orchestration follows the paper (Section IV):
+//!
+//! 1. copy the signal to the device once (PCIe charged);
+//! 2. run permutation+filter+bin for every loop — baseline loop-partition
+//!    kernels, or the async remap/exec pipeline in the optimized variant;
+//! 3. one *batched* cuFFT per bucket geometry ("compute cuFFT only once");
+//! 4. per location loop: magnitude kernel, cutoff (Thrust sort&select or
+//!    fast k-selection), and the location-voting kernel;
+//! 5. one reconstruction kernel over the hits; copy the sparse result
+//!    back.
+//!
+//! Filters (taps + banded frequency responses) are uploaded at plan
+//! construction and excluded from the timed region, matching the paper's
+//! methodology (filters depend only on `(n, k)` and are precomputed, as
+//! in the MIT reference and FFTW's plan/execute split).
+
+use std::sync::Arc;
+
+use fft::cplx::{Cplx, ZERO};
+use gpu_sim::{DeviceBuffer, GpuDevice, StreamId, DEFAULT_STREAM};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfft_cpu::{Permutation, SfftParams};
+use signal::Recovered;
+
+use crate::cufft::batched_fft_device;
+use crate::cutoff::{fast_select_device, magnitudes_device, noise_threshold_device, sort_select_device};
+use crate::locate::{locate_device, LocateState};
+use crate::perm_filter::{perm_filter_async, perm_filter_partition};
+use crate::reconstruct::{reconstruct_device, LoopMeta, SideGeometry};
+use crate::report::StepBreakdown;
+
+/// Which implementation tier to run (the two curves of Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Section IV: loop-partition filter kernel + Thrust sort&select.
+    Baseline,
+    /// Section V: async data-layout transformation + fast k-selection.
+    Optimized,
+}
+
+/// Result of one cusFFT execution.
+#[derive(Debug, Clone)]
+pub struct CusFftOutput {
+    /// Recovered `(frequency, coefficient)` pairs, sorted by frequency.
+    pub recovered: Recovered,
+    /// Simulated device time for the pipeline with the input already
+    /// device-resident (the GPU-vs-GPU comparison of Figure 5(a)-(c);
+    /// cuFFT is timed under the same convention).
+    pub sim_time: f64,
+    /// PCIe time to ship the input signal to the device — added to
+    /// `sim_time` for GPU-vs-CPU comparisons (Figure 5(d)-(e), where the
+    /// paper notes the transfer "offsets the performance gains").
+    pub input_transfer: f64,
+    /// Per-step breakdown of the simulated time.
+    pub steps: StepBreakdown,
+    /// Number of located frequencies before estimation.
+    pub num_hits: usize,
+}
+
+impl CusFftOutput {
+    /// Simulated end-to-end time including the input transfer.
+    pub fn sim_time_with_transfer(&self) -> f64 {
+        self.sim_time + self.input_transfer
+    }
+}
+
+/// A reusable cusFFT plan: device-resident filters plus launch settings.
+pub struct CusFft {
+    device: Arc<GpuDevice>,
+    params: Arc<SfftParams>,
+    variant: Variant,
+    taps_loc: DeviceBuffer<Cplx>,
+    w_pad_loc: usize,
+    taps_est: DeviceBuffer<Cplx>,
+    w_pad_est: usize,
+    band_loc: DeviceBuffer<Cplx>,
+    band_est: DeviceBuffer<Cplx>,
+    /// Streams used by the async layout transformation.
+    num_streams: usize,
+    /// Fast-selection threshold factor over the sampled noise floor.
+    select_factor: f64,
+    /// Optional sFFT-v2 comb pre-filter.
+    comb: Option<sfft_cpu::CombParams>,
+}
+
+impl CusFft {
+    /// Builds a plan on `device` for the given parameters and variant.
+    pub fn new(device: Arc<GpuDevice>, params: Arc<SfftParams>, variant: Variant) -> Self {
+        let (taps_loc, w_pad_loc) = padded_taps(&params.filter_loc, params.b_loc);
+        let (taps_est, w_pad_est) = padded_taps(&params.filter_est, params.b_est);
+        let band_loc = band_buffer(&params.filter_loc);
+        let band_est = band_buffer(&params.filter_est);
+        CusFft {
+            device,
+            params,
+            variant,
+            taps_loc,
+            w_pad_loc,
+            taps_est,
+            w_pad_est,
+            band_loc,
+            band_est,
+            num_streams: 8,
+            select_factor: 16.0,
+            comb: None,
+        }
+    }
+
+    /// Enables the sFFT-v2 comb pre-filter: a few aliased subsampled FFTs
+    /// restrict location candidates to `O(k)` residue classes, starving
+    /// spurious votes (see `sfft_cpu::comb`).
+    pub fn with_comb(mut self, comb: sfft_cpu::CombParams) -> Self {
+        assert_eq!(
+            self.params.n % comb.comb_size,
+            0,
+            "comb size must divide n"
+        );
+        self.comb = Some(comb);
+        self
+    }
+
+    /// The device this plan runs on.
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// The plan's parameters.
+    pub fn params(&self) -> &SfftParams {
+        &self.params
+    }
+
+    /// The implementation tier.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Runs the sparse FFT on `time`, returning the sparse spectrum and
+    /// the simulated device timing. Deterministic per `(plan, time, seed)`
+    /// (the seed drives the permutations, consumed in the same order as
+    /// the CPU reference implementations).
+    pub fn execute(&self, time: &[Cplx], seed: u64) -> CusFftOutput {
+        let p = &*self.params;
+        let n = p.n;
+        assert_eq!(time.len(), n, "signal length must match params.n");
+        let device = &*self.device;
+        device.reset_clock();
+
+        let stream0 = DEFAULT_STREAM;
+        // The input is device-resident for the timed region; its PCIe cost
+        // is reported separately (see `CusFftOutput::input_transfer`).
+        let signal = DeviceBuffer::from_host(time);
+        let input_transfer = gpu_sim::transfer_time(device.spec(), signal.size_bytes());
+        let streams: Vec<StreamId> = (0..self.num_streams)
+            .map(|_| device.create_stream())
+            .collect();
+
+        // Optional comb pre-filter (sFFT v2): compute the residue mask
+        // first, on the device. It consumes the RNG ahead of the
+        // permutations — the same stream discipline as `sfft_cpu::v2`.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask_buf: Option<DeviceBuffer<u8>> = self.comb.as_ref().map(|comb| {
+            let mask =
+                crate::comb::comb_mask_device(device, &signal, n, p.k, comb, &mut rng, stream0);
+            let bytes: Vec<u8> = mask.into_iter().map(u8::from).collect();
+            DeviceBuffer::from_host(&bytes)
+        });
+        let perms: Vec<Permutation> = (0..p.loops_total())
+            .map(|_| Permutation::random(&mut rng, n, p.random_tau))
+            .collect();
+
+        // Steps 1-2: permutation + filtering for every loop.
+        let mut bucket_bufs: Vec<DeviceBuffer<Cplx>> = Vec::with_capacity(p.loops_total());
+        for (r, perm) in perms.iter().enumerate() {
+            let is_loc = r < p.loops_loc;
+            let (b, taps, w_pad, w) = if is_loc {
+                (p.b_loc, &self.taps_loc, self.w_pad_loc, p.filter_loc.width())
+            } else {
+                (p.b_est, &self.taps_est, self.w_pad_est, p.filter_est.width())
+            };
+            let mut out = DeviceBuffer::zeroed(b);
+            match self.variant {
+                Variant::Baseline => perm_filter_partition(
+                    device, &signal, taps, w_pad, w, b, perm, &mut out, stream0,
+                ),
+                Variant::Optimized => perm_filter_async(
+                    device, &signal, taps, w_pad, w, b, perm, &mut out, &streams, stream0,
+                ),
+            }
+            bucket_bufs.push(out);
+        }
+
+        // Step 3: two batched cuFFT calls (location and estimation sides).
+        let (loc_bufs, est_bufs) = bucket_bufs.split_at_mut(p.loops_loc);
+        batched_fft_device(device, loc_bufs, p.b_loc, stream0, "cufft_batched_loc");
+        batched_fft_device(device, est_bufs, p.b_est, stream0, "cufft_batched_est");
+
+        // Steps 4-5: cutoff + location voting per location loop.
+        let state = LocateState::new(n, n);
+        for r in 0..p.loops_loc {
+            let mags = magnitudes_device(device, &bucket_bufs[r], stream0);
+            let selected: Vec<usize> = match self.variant {
+                Variant::Baseline => {
+                    sort_select_device(device, &mags, p.num_candidates, stream0)
+                }
+                Variant::Optimized => {
+                    let noise = noise_threshold_device(device, &mags, self.select_factor, stream0);
+                    // Guard against an all-zero noise floor (synthetic
+                    // noiseless inputs): never select below peak·1e-12.
+                    let peak = mags.as_slice().iter().copied().fold(0.0, f64::max);
+                    let thr = noise.max(peak * 1e-12);
+                    fast_select_device(device, &mags, thr, stream0)
+                }
+            };
+            let sel_host: Vec<u32> = selected.iter().map(|&i| i as u32).collect();
+            let sel_buf = DeviceBuffer::from_host(&sel_host);
+            match &mask_buf {
+                Some(mask) => crate::locate::locate_masked_device(
+                    device,
+                    &sel_buf,
+                    &perms[r],
+                    p.b_loc,
+                    p.loops_thresh,
+                    &state,
+                    mask,
+                    stream0,
+                ),
+                None => locate_device(
+                    device,
+                    &sel_buf,
+                    &perms[r],
+                    p.b_loc,
+                    p.loops_thresh,
+                    &state,
+                    stream0,
+                ),
+            }
+        }
+        let hits = state.hits_sorted();
+
+        // Step 6: magnitude reconstruction.
+        let metas: Vec<LoopMeta> = perms
+            .iter()
+            .enumerate()
+            .map(|(r, perm)| LoopMeta {
+                a: perm.a,
+                ai: perm.ai,
+                tau: perm.tau,
+                is_loc: r < p.loops_loc,
+            })
+            .collect();
+        let loc_geo = SideGeometry {
+            b: p.b_loc,
+            band: &self.band_loc,
+            half: p.filter_loc.half_band(),
+        };
+        let est_geo = SideGeometry {
+            b: p.b_est,
+            band: &self.band_est,
+            half: p.filter_est.half_band(),
+        };
+        let hits_host: Vec<u32> = hits.iter().map(|&h| h as u32).collect();
+        let hits_buf = DeviceBuffer::from_host(&hits_host);
+        let vals = reconstruct_device(
+            device,
+            &hits_buf,
+            &metas,
+            &bucket_bufs,
+            &loc_geo,
+            &est_geo,
+            n,
+            stream0,
+        );
+
+        // Copy the sparse result back (2 small transfers).
+        let vals_buf = DeviceBuffer::from_host(&vals);
+        let _ = device.dtoh(&hits_buf, stream0);
+        let vals_host = device.dtoh(&vals_buf, stream0);
+
+        let mut recovered: Recovered = hits
+            .iter()
+            .zip(vals_host)
+            .map(|(&f, v)| (f, v))
+            .collect();
+        recovered.sort_unstable_by_key(|&(f, _)| f);
+
+        let sim_time = device.elapsed();
+        let steps = StepBreakdown::from_records(&device.records());
+        CusFftOutput {
+            recovered,
+            sim_time,
+            input_transfer,
+            steps,
+            num_hits: hits.len(),
+        }
+    }
+}
+
+/// Pads filter taps to a multiple of `b` and uploads them.
+fn padded_taps(filter: &filters::FlatFilter, b: usize) -> (DeviceBuffer<Cplx>, usize) {
+    let w = filter.width();
+    let w_pad = w.div_ceil(b) * b;
+    let mut taps = filter.taps().to_vec();
+    taps.resize(w_pad, ZERO);
+    (DeviceBuffer::from_host(&taps), w_pad)
+}
+
+/// Uploads a filter's banded frequency response
+/// (`band[off + half] = Ĝ(off)`).
+fn band_buffer(filter: &filters::FlatFilter) -> DeviceBuffer<Cplx> {
+    let half = filter.half_band() as i64;
+    let host: Vec<Cplx> = (-half..=half).map(|o| filter.freq_at(o)).collect();
+    DeviceBuffer::from_host(&host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+    use signal::{l1_error_per_coeff, support_recall, MagnitudeModel, SparseSignal};
+
+    fn make(variant: Variant, n: usize, k: usize) -> (CusFft, SparseSignal) {
+        let device = Arc::new(GpuDevice::new(DeviceSpec::tesla_k20x()));
+        let params = Arc::new(SfftParams::tuned(n, k));
+        let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, 31);
+        (CusFft::new(device, params, variant), s)
+    }
+
+    #[test]
+    fn baseline_recovers_sparse_spectrum() {
+        let (plan, s) = make(Variant::Baseline, 1 << 12, 8);
+        let out = plan.execute(&s.time, 5);
+        assert!(support_recall(&s.coords, &out.recovered) > 0.99);
+        assert!(l1_error_per_coeff(&s.coords, &out.recovered) < 1e-3);
+        assert!(out.sim_time > 0.0);
+        assert!(out.num_hits >= 8);
+    }
+
+    #[test]
+    fn optimized_recovers_sparse_spectrum() {
+        let (plan, s) = make(Variant::Optimized, 1 << 12, 8);
+        let out = plan.execute(&s.time, 5);
+        assert!(support_recall(&s.coords, &out.recovered) > 0.99);
+        assert!(l1_error_per_coeff(&s.coords, &out.recovered) < 1e-3);
+    }
+
+    #[test]
+    fn optimized_is_faster_on_the_device_clock() {
+        let (base, s) = make(Variant::Baseline, 1 << 14, 16);
+        let opt = CusFft::new(
+            Arc::new(GpuDevice::new(DeviceSpec::tesla_k20x())),
+            Arc::new(SfftParams::tuned(1 << 14, 16)),
+            Variant::Optimized,
+        );
+        let tb = base.execute(&s.time, 9).sim_time;
+        let to = opt.execute(&s.time, 9).sim_time;
+        assert!(
+            to < tb,
+            "optimized {to:.3e}s should beat baseline {tb:.3e}s"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (plan, s) = make(Variant::Optimized, 1 << 12, 8);
+        let a = plan.execute(&s.time, 77);
+        let b = plan.execute(&s.time, 77);
+        assert_eq!(a.recovered, b.recovered);
+        assert!((a.sim_time - b.sim_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_cpu_reference_support_and_values() {
+        let n = 1 << 12;
+        let k = 8;
+        let (plan, s) = make(Variant::Baseline, n, k);
+        let cpu = sfft_cpu::sfft(plan.params(), &s.time, 123);
+        let gpu = plan.execute(&s.time, 123).recovered;
+        // Compare the large coefficients (spurious tiny entries may
+        // differ between the quickselect and sort cutoffs).
+        let big = |rec: &Recovered| -> Vec<usize> {
+            rec.iter()
+                .filter(|(_, v)| v.abs() > 0.5)
+                .map(|&(f, _)| f)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(big(&cpu), big(&gpu), "large-coefficient support");
+        for (f, v) in cpu.iter().filter(|(_, v)| v.abs() > 0.5) {
+            let (_, g) = gpu.iter().find(|(gf, _)| gf == f).unwrap();
+            assert!(v.dist(*g) < 1e-6, "f={f}: cpu {v:?} vs gpu {g:?}");
+        }
+    }
+
+    #[test]
+    fn step_breakdown_covers_whole_pipeline() {
+        let (plan, s) = make(Variant::Optimized, 1 << 12, 8);
+        let out = plan.execute(&s.time, 5);
+        assert!(out.steps.perm_filter > 0.0);
+        assert!(out.steps.subsampled_fft > 0.0);
+        assert!(out.steps.cutoff > 0.0);
+        assert!(out.steps.locate > 0.0);
+        assert!(out.steps.estimate > 0.0);
+        assert!(out.steps.transfer > 0.0);
+        assert_eq!(out.steps.other, 0.0, "no unclassified kernels");
+        // Overlap means elapsed ≤ serial sum.
+        assert!(out.sim_time <= out.steps.total() + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn wrong_length_rejected() {
+        let (plan, _) = make(Variant::Baseline, 1 << 12, 8);
+        plan.execute(&[ZERO; 64], 1);
+    }
+}

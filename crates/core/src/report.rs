@@ -1,0 +1,134 @@
+//! Step-level timing breakdown of a cusFFT run, grouped from the device's
+//! per-kernel records (the GPU-side counterpart of
+//! `sfft_cpu::StepTimings`, used for Figure 2-style analyses).
+
+use gpu_sim::LaunchRecord;
+
+/// Simulated seconds per pipeline step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepBreakdown {
+    /// Host↔device transfers.
+    pub transfer: f64,
+    /// Permutation + filtering + binning kernels.
+    pub perm_filter: f64,
+    /// Batched B-dimensional cuFFT.
+    pub subsampled_fft: f64,
+    /// Cutoff (magnitude + sort or fast selection).
+    pub cutoff: f64,
+    /// Location recovery.
+    pub locate: f64,
+    /// Magnitude reconstruction.
+    pub estimate: f64,
+    /// Anything unclassified.
+    pub other: f64,
+}
+
+impl StepBreakdown {
+    /// Groups raw launch records into steps.
+    pub fn from_records(records: &[LaunchRecord]) -> Self {
+        let mut s = StepBreakdown::default();
+        for r in records {
+            let t = r.cost.total;
+            let n = r.name.as_str();
+            if n.starts_with("htod") || n.starts_with("dtoh") {
+                s.transfer += t;
+            } else if n.starts_with("perm_filter")
+                || n.starts_with("remap")
+                || n.starts_with("exec")
+                || n.starts_with("bucket_reduce")
+            {
+                s.perm_filter += t;
+            } else if n.starts_with("cufft_batched") {
+                s.subsampled_fft += t;
+            } else if n.starts_with("magnitude")
+                || n.starts_with("cutoff")
+                || n.starts_with("noise_floor")
+            {
+                s.cutoff += t;
+            } else if n.starts_with("locate") {
+                s.locate += t;
+            } else if n.starts_with("reconstruct") {
+                s.estimate += t;
+            } else {
+                s.other += t;
+            }
+        }
+        s
+    }
+
+    /// Sum over all steps.
+    pub fn total(&self) -> f64 {
+        self.transfer
+            + self.perm_filter
+            + self.subsampled_fft
+            + self.cutoff
+            + self.locate
+            + self.estimate
+            + self.other
+    }
+
+    /// `(label, seconds)` pairs in pipeline order.
+    pub fn as_pairs(&self) -> [(&'static str, f64); 7] {
+        [
+            ("transfer", self.transfer),
+            ("perm+filter", self.perm_filter),
+            ("subsampled FFT", self.subsampled_fft),
+            ("cutoff", self.cutoff),
+            ("locate", self.locate),
+            ("estimate", self.estimate),
+            ("other", self.other),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{KernelCost, KernelStats, StreamId};
+
+    fn rec(name: &str, t: f64) -> LaunchRecord {
+        LaunchRecord {
+            name: name.to_string(),
+            stats: KernelStats::default(),
+            cost: KernelCost {
+                total: t,
+                ..Default::default()
+            },
+            stream: StreamId(0),
+            bound: "bandwidth",
+        }
+    }
+
+    #[test]
+    fn groups_by_prefix() {
+        let records = vec![
+            rec("htod (16 B)", 1.0),
+            rec("perm_filter_partition", 2.0),
+            rec("remap", 0.5),
+            rec("exec", 0.25),
+            rec("bucket_reduce", 0.25),
+            rec("cufft_batched_loc", 3.0),
+            rec("magnitude", 0.1),
+            rec("cutoff_sort", 0.4),
+            rec("locate", 0.7),
+            rec("reconstruct", 0.9),
+            rec("mystery", 0.05),
+        ];
+        let s = StepBreakdown::from_records(&records);
+        assert_eq!(s.transfer, 1.0);
+        assert_eq!(s.perm_filter, 3.0);
+        assert_eq!(s.subsampled_fft, 3.0);
+        assert!((s.cutoff - 0.5).abs() < 1e-12);
+        assert_eq!(s.locate, 0.7);
+        assert_eq!(s.estimate, 0.9);
+        assert_eq!(s.other, 0.05);
+        assert!((s.total() - 9.15).abs() < 1e-12);
+        assert_eq!(s.as_pairs()[1].0, "perm+filter");
+    }
+
+    #[test]
+    fn empty_records() {
+        let s = StepBreakdown::from_records(&[]);
+        assert_eq!(s.total(), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Naive O(n²) discrete Fourier transform.
+//!
+//! This module is the *oracle* the fast algorithms are tested against. It is
+//! deliberately written as the textbook double loop with per-term phasors so
+//! that a bug in the twiddle tables of the fast paths cannot hide here.
+
+use crate::cplx::{Cplx, ZERO};
+use crate::Direction;
+
+/// Computes the DFT of `input` by direct summation.
+///
+/// Convention (used across the whole workspace):
+/// * `Forward`:  `X[f] = Σ_t x[t]·e^{-2πi f t / n}` (unnormalised)
+/// * `Inverse`:  `x[t] = (1/n)·Σ_f X[f]·e^{+2πi f t / n}`
+pub fn dft(input: &[Cplx], dir: Direction) -> Vec<Cplx> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let base = sign * std::f64::consts::TAU / n as f64;
+    let mut out = vec![ZERO; n];
+    for (f, slot) in out.iter_mut().enumerate() {
+        let mut acc = ZERO;
+        for (t, &x) in input.iter().enumerate() {
+            // (f*t) mod n keeps the angle argument small for large inputs.
+            let k = (f * t) % n;
+            acc += x * Cplx::cis(base * k as f64);
+        }
+        *slot = acc;
+    }
+    if dir == Direction::Inverse {
+        let inv = 1.0 / n as f64;
+        for v in &mut out {
+            *v = v.scale(inv);
+        }
+    }
+    out
+}
+
+/// Evaluates a single output coefficient `X[f]` of the forward DFT.
+///
+/// Used by the sparse-FFT accuracy checks to spot-verify individual
+/// frequencies without materialising a full transform.
+pub fn dft_coefficient(input: &[Cplx], f: usize) -> Cplx {
+    let n = input.len();
+    assert!(f < n, "frequency index {f} out of range for n={n}");
+    let base = -std::f64::consts::TAU / n as f64;
+    let mut acc = ZERO;
+    for (t, &x) in input.iter().enumerate() {
+        let k = (f * t) % n;
+        acc += x * Cplx::cis(base * k as f64);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cplx::ONE;
+
+    fn assert_close(a: &[Cplx], b: &[Cplx], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(x.dist(*y) < tol, "mismatch at {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dft(&[], Direction::Forward).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_identity() {
+        let x = [Cplx::new(2.0, -3.0)];
+        assert_close(&dft(&x, Direction::Forward), &x, 1e-12);
+        assert_close(&dft(&x, Direction::Inverse), &x, 1e-12);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![crate::cplx::ZERO; 8];
+        x[0] = ONE;
+        let y = dft(&x, Direction::Forward);
+        for v in y {
+            assert!(v.dist(ONE) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let x = vec![ONE; 8];
+        let y = dft(&x, Direction::Forward);
+        assert!(y[0].dist(Cplx::real(8.0)) < 1e-12);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_on_its_bin() {
+        let n = 16;
+        let f0 = 5;
+        let x: Vec<Cplx> = (0..n)
+            .map(|t| Cplx::cis(std::f64::consts::TAU * f0 as f64 * t as f64 / n as f64))
+            .collect();
+        let y = dft(&x, Direction::Forward);
+        assert!(y[f0].dist(Cplx::real(n as f64)) < 1e-9);
+        for (f, v) in y.iter().enumerate() {
+            if f != f0 {
+                assert!(v.abs() < 1e-9, "leakage at {f}: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let x: Vec<Cplx> = (0..12)
+            .map(|i| Cplx::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let y = dft(&x, Direction::Forward);
+        let z = dft(&y, Direction::Inverse);
+        assert_close(&z, &x, 1e-10);
+    }
+
+    #[test]
+    fn non_power_of_two_roundtrip() {
+        let x: Vec<Cplx> = (0..7).map(|i| Cplx::new(i as f64, -(i as f64))).collect();
+        let z = dft(&dft(&x, Direction::Forward), Direction::Inverse);
+        assert_close(&z, &x, 1e-10);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Cplx> = (0..10).map(|i| Cplx::new(i as f64, 1.0)).collect();
+        let b: Vec<Cplx> = (0..10).map(|i| Cplx::new(1.0, i as f64)).collect();
+        let sum: Vec<Cplx> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = dft(&a, Direction::Forward);
+        let fb = dft(&b, Direction::Forward);
+        let fsum = dft(&sum, Direction::Forward);
+        for i in 0..10 {
+            assert!(fsum[i].dist(fa[i] + fb[i]) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_theorem() {
+        let x: Vec<Cplx> = (0..32)
+            .map(|i| Cplx::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let y = dft(&x, Direction::Forward);
+        let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum();
+        assert!((ey - 32.0 * ex).abs() < 1e-8 * ey.max(1.0));
+    }
+
+    #[test]
+    fn single_coefficient_matches_full_transform() {
+        let x: Vec<Cplx> = (0..20).map(|i| Cplx::new(i as f64, 2.0)).collect();
+        let y = dft(&x, Direction::Forward);
+        for f in [0, 1, 7, 19] {
+            assert!(dft_coefficient(&x, f).dist(y[f]) < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coefficient_out_of_range_panics() {
+        let x = vec![ONE; 4];
+        dft_coefficient(&x, 4);
+    }
+}

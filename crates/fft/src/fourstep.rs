@@ -1,0 +1,225 @@
+//! Four-step (Bailey) FFT: decompose an `n = n1·n2` transform into column
+//! FFTs, twiddle multiplication, row FFTs, and a transpose.
+//!
+//! This is the blocking scheme large-scale FFT libraries (cuFFT included)
+//! use once a transform outgrows fast memory: every inner FFT touches a
+//! cache-sized working set and the long-range data movement concentrates
+//! in the transposes. It rounds out the substrate with the variant whose
+//! memory behaviour actually matches the `passes × 2·16·n` traffic model
+//! used for the simulated cuFFT.
+//!
+//! Decomposition (DIT, row-major `x[t] = x[t1·n2 + t2]`):
+//!
+//! 1. FFT each *column* (stride `n2`, length `n1`);
+//! 2. multiply element `(t2, f1)` by the twiddle `e^{-2πi·f1·t2/n}`;
+//! 3. FFT each *row* (contiguous, length `n2`);
+//! 4. read out transposed: `X[f2·n1 + f1] = buf[f1·n2 + f2]`.
+
+use crate::cplx::{Cplx, ZERO};
+use crate::plan::{is_pow2, Plan};
+use crate::Direction;
+
+/// A four-step plan for `n = n1 · n2` (both powers of two).
+#[derive(Debug, Clone)]
+pub struct FourStepPlan {
+    n1: usize,
+    n2: usize,
+    col_plan: Plan,
+    row_plan: Plan,
+}
+
+impl FourStepPlan {
+    /// Builds a plan with a near-square split (`n1 ≤ n2`).
+    pub fn new(n: usize) -> Self {
+        assert!(is_pow2(n) && n >= 4, "FourStepPlan needs a power of two ≥ 4");
+        let log2 = n.trailing_zeros();
+        let n1 = 1usize << (log2 / 2);
+        let n2 = n / n1;
+        Self::with_split(n1, n2)
+    }
+
+    /// Builds a plan with an explicit split.
+    pub fn with_split(n1: usize, n2: usize) -> Self {
+        assert!(is_pow2(n1) && is_pow2(n2), "both factors must be powers of two");
+        FourStepPlan {
+            n1,
+            n2,
+            col_plan: Plan::new(n1),
+            row_plan: Plan::new(n2),
+        }
+    }
+
+    /// Total transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n1 * self.n2
+    }
+
+    /// Never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `(n1, n2)` split.
+    #[inline]
+    pub fn split(&self) -> (usize, usize) {
+        (self.n1, self.n2)
+    }
+
+    /// Out-of-place transform.
+    pub fn transform(&self, input: &[Cplx], dir: Direction) -> Vec<Cplx> {
+        let (n1, n2) = (self.n1, self.n2);
+        let n = n1 * n2;
+        assert_eq!(input.len(), n, "expected {n} points");
+        let sign = match dir {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        };
+
+        // Step 1: column FFTs (gather a strided column, transform, put back).
+        let mut buf = input.to_vec();
+        let mut col = vec![ZERO; n1];
+        for t2 in 0..n2 {
+            for t1 in 0..n1 {
+                col[t1] = buf[t1 * n2 + t2];
+            }
+            // Column transforms are unnormalised in both directions; the
+            // single 1/n scaling happens at the end for inverses
+            // (unnormalised inverse = conj ∘ forward ∘ conj).
+            let mut c: Vec<Cplx> = if dir == Direction::Forward {
+                col.clone()
+            } else {
+                col.iter().map(|v| v.conj()).collect()
+            };
+            self.col_plan.process(&mut c, Direction::Forward);
+            if dir == Direction::Inverse {
+                for v in c.iter_mut() {
+                    *v = v.conj();
+                }
+            }
+            for (t1, &v) in c.iter().enumerate() {
+                buf[t1 * n2 + t2] = v;
+            }
+        }
+
+        // Step 2: twiddles W_n^{f1·t2}.
+        let base = sign * std::f64::consts::TAU / n as f64;
+        for f1 in 0..n1 {
+            for t2 in 0..n2 {
+                let k = (f1 * t2) % n;
+                buf[f1 * n2 + t2] *= Cplx::cis(base * k as f64);
+            }
+        }
+
+        // Step 3: row FFTs (contiguous), unnormalised in both directions.
+        for row in buf.chunks_exact_mut(n2) {
+            if dir == Direction::Forward {
+                self.row_plan.process(row, Direction::Forward);
+            } else {
+                for v in row.iter_mut() {
+                    *v = v.conj();
+                }
+                self.row_plan.process(row, Direction::Forward);
+                for v in row.iter_mut() {
+                    *v = v.conj();
+                }
+            }
+        }
+
+        // Step 4: transposed readout (+ 1/n for inverses).
+        let scale = if dir == Direction::Inverse {
+            1.0 / n as f64
+        } else {
+            1.0
+        };
+        let mut out = vec![ZERO; n];
+        for f1 in 0..n1 {
+            for f2 in 0..n2 {
+                out[f2 * n1 + f1] = buf[f1 * n2 + f2].scale(scale);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Cplx> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = ((s >> 16) as u32 as f64) / u32::MAX as f64 - 0.5;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let b = ((s >> 16) as u32 as f64) / u32::MAX as f64 - 0.5;
+                Cplx::new(a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [4usize, 16, 64, 256, 1024] {
+            let x = rand_signal(n, n as u64);
+            let got = FourStepPlan::new(n).transform(&x, Direction::Forward);
+            let expect = dft(&x, Direction::Forward);
+            for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+                assert!(a.dist(*b) < 1e-8 * n as f64, "n={n} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_split_also_correct() {
+        let n1 = 4;
+        let n2 = 64;
+        let x = rand_signal(n1 * n2, 5);
+        let got = FourStepPlan::with_split(n1, n2).transform(&x, Direction::Forward);
+        let expect = Plan::new(n1 * n2).transform(&x, Direction::Forward);
+        for (a, b) in got.iter().zip(&expect) {
+            assert!(a.dist(*b) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let n = 1 << 10;
+        let x = rand_signal(n, 3);
+        let p = FourStepPlan::new(n);
+        let y = p.transform(&x, Direction::Forward);
+        let z = p.transform(&y, Direction::Inverse);
+        for (a, b) in z.iter().zip(&x) {
+            assert!(a.dist(*b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_matches_plan_inverse() {
+        let n = 256;
+        let x = rand_signal(n, 9);
+        let a = FourStepPlan::new(n).transform(&x, Direction::Inverse);
+        let b = Plan::new(n).transform(&x, Direction::Inverse);
+        for (u, v) in a.iter().zip(&b) {
+            assert!(u.dist(*v) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn split_is_near_square() {
+        let p = FourStepPlan::new(1 << 11);
+        let (n1, n2) = p.split();
+        assert_eq!(n1 * n2, 1 << 11);
+        assert!(n2 / n1 <= 2);
+        assert_eq!(p.len(), 1 << 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        FourStepPlan::new(48);
+    }
+}

@@ -1,0 +1,187 @@
+//! Real-input FFT (r2c / c2r) via the classic pack-into-half-size-complex
+//! trick: an `n`-point real transform costs one `n/2`-point complex
+//! transform plus an O(n) untangling pass.
+//!
+//! Audio/seismic front-ends (the sparse-FFT application domains) produce
+//! real samples; this module lets them enter the pipeline without paying
+//! for a full complex transform.
+
+use crate::cplx::{Cplx, ZERO};
+use crate::plan::{is_pow2, Plan};
+use crate::Direction;
+
+/// A plan for `n`-point real-input transforms (`n` a power of two ≥ 2).
+///
+/// ```
+/// use fft::RealPlan;
+/// let samples: Vec<f64> = (0..64).map(|t| (t as f64 * 0.3).sin()).collect();
+/// let plan = RealPlan::new(64);
+/// let spectrum = plan.forward(&samples);       // 33 non-redundant bins
+/// assert_eq!(spectrum.len(), 33);
+/// let back = plan.inverse(&spectrum);
+/// assert!(back.iter().zip(&samples).all(|(a, b)| (a - b).abs() < 1e-9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealPlan {
+    n: usize,
+    half_plan: Plan,
+}
+
+impl RealPlan {
+    /// Builds a real-FFT plan.
+    pub fn new(n: usize) -> Self {
+        assert!(is_pow2(n) && n >= 2, "RealPlan needs a power of two ≥ 2, got {n}");
+        RealPlan {
+            n,
+            half_plan: Plan::new(n / 2),
+        }
+    }
+
+    /// Transform size (number of real samples).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward r2c transform: returns the `n/2 + 1` non-redundant
+    /// spectrum values `X[0..=n/2]` (the rest follow from conjugate
+    /// symmetry `X[n-f] = conj(X[f])`).
+    pub fn forward(&self, input: &[f64]) -> Vec<Cplx> {
+        let n = self.n;
+        assert_eq!(input.len(), n, "expected {n} real samples");
+        let half = n / 2;
+
+        // Pack adjacent pairs into complex: z[t] = x[2t] + i·x[2t+1].
+        let mut z: Vec<Cplx> = (0..half)
+            .map(|t| Cplx::new(input[2 * t], input[2 * t + 1]))
+            .collect();
+        self.half_plan.process(&mut z, Direction::Forward);
+
+        // Untangle: with E/O the transforms of the even/odd subsequences,
+        //   Z[f]        = E[f] + i·O[f]
+        //   conj(Z[-f]) = E[f] − i·O[f]
+        // and X[f] = E[f] + w·O[f], w = e^{-2πi f/n}.
+        let mut out = vec![ZERO; half + 1];
+        for f in 0..=half {
+            let zf = if f == half { z[0] } else { z[f] };
+            let zc = z[(half - f) % half].conj();
+            let e = (zf + zc).scale(0.5);
+            let o = (zf - zc) * Cplx::new(0.0, -0.5);
+            let w = Cplx::cis(-std::f64::consts::TAU * f as f64 / n as f64);
+            out[f] = e + w * o;
+        }
+        out
+    }
+
+    /// Inverse c2r transform: consumes the `n/2 + 1` non-redundant values
+    /// and returns `n` real samples. Matches the workspace convention
+    /// (inverse scaled by `1/n`).
+    pub fn inverse(&self, spectrum: &[Cplx]) -> Vec<f64> {
+        let n = self.n;
+        let half = n / 2;
+        assert_eq!(spectrum.len(), half + 1, "expected n/2+1 spectrum values");
+
+        // Repack: Z[f] = E[f] + i·O[f] where E, O are recovered from the
+        // symmetric spectrum: E[f] = (X[f] + conj(X[h-f]))/2,
+        // O[f] = w^{-1}·(X[f] − conj(X[h-f]))/2 with h = n/2.
+        let mut z = vec![ZERO; half];
+        for (f, slot) in z.iter_mut().enumerate() {
+            let xf = spectrum[f];
+            let xc = spectrum[half - f].conj();
+            let e = (xf + xc).scale(0.5);
+            let w_inv = Cplx::cis(std::f64::consts::TAU * f as f64 / n as f64);
+            let o = (xf - xc).scale(0.5) * w_inv;
+            *slot = e + o * Cplx::new(0.0, 1.0);
+        }
+        self.half_plan.process(&mut z, Direction::Inverse);
+        let mut out = Vec::with_capacity(n);
+        for v in z {
+            out.push(v.re);
+            out.push(v.im);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    fn rand_real(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 16) as u32 as f64) / u32::MAX as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_matches_complex_dft() {
+        for n in [4usize, 16, 64, 256] {
+            let x = rand_real(n, n as u64);
+            let complex_in: Vec<Cplx> = x.iter().map(|&v| Cplx::real(v)).collect();
+            let full = dft(&complex_in, Direction::Forward);
+            let got = RealPlan::new(n).forward(&x);
+            assert_eq!(got.len(), n / 2 + 1);
+            for f in 0..=n / 2 {
+                assert!(
+                    got[f].dist(full[f]) < 1e-8 * n as f64,
+                    "n={n} f={f}: {:?} vs {:?}",
+                    got[f],
+                    full[f]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_has_real_dc_and_nyquist() {
+        let x = rand_real(128, 9);
+        let spec = RealPlan::new(128).forward(&x);
+        assert!(spec[0].im.abs() < 1e-10, "DC must be real");
+        assert!(spec[64].im.abs() < 1e-10, "Nyquist must be real");
+    }
+
+    #[test]
+    fn roundtrip_recovers_samples() {
+        for n in [8usize, 64, 1024] {
+            let x = rand_real(n, 3 + n as u64);
+            let plan = RealPlan::new(n);
+            let back = plan.inverse(&plan.forward(&x));
+            for (a, b) in back.iter().zip(&x) {
+                assert!((a - b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn pure_cosine_hits_one_bin() {
+        let n = 64;
+        let f0 = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|t| (std::f64::consts::TAU * f0 as f64 * t as f64 / n as f64).cos())
+            .collect();
+        let spec = RealPlan::new(n).forward(&x);
+        assert!((spec[f0].re - n as f64 / 2.0).abs() < 1e-8);
+        for (f, v) in spec.iter().enumerate() {
+            if f != f0 {
+                assert!(v.abs() < 1e-8, "leakage at {f}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_size_rejected() {
+        RealPlan::new(12);
+    }
+}

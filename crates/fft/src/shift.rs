@@ -1,0 +1,112 @@
+//! Circular shifts and spectrum-centering helpers used by the filter
+//! construction (the Dolph-Chebyshev window is built centred and then
+//! rotated to the index origin).
+
+use crate::cplx::Cplx;
+
+/// Rotates `data` left by `s` positions (circularly): element at index `s`
+/// moves to index 0. `s` may exceed the length.
+pub fn rotate_left(data: &mut [Cplx], s: usize) {
+    if data.is_empty() {
+        return;
+    }
+    let s = s % data.len();
+    data.rotate_left(s);
+}
+
+/// Rotates `data` right by `s` positions (circularly).
+pub fn rotate_right(data: &mut [Cplx], s: usize) {
+    if data.is_empty() {
+        return;
+    }
+    let s = s % data.len();
+    data.rotate_right(s);
+}
+
+/// `fftshift`: swaps the low and high halves so the zero frequency sits in
+/// the middle. For odd lengths, matches the NumPy convention
+/// (`out[i] = in[(i + ceil(n/2)) mod n]`).
+pub fn fftshift(data: &mut [Cplx]) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    data.rotate_left(n.div_ceil(2));
+}
+
+/// Inverse of [`fftshift`].
+pub fn ifftshift(data: &mut [Cplx]) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    data.rotate_left(n / 2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<Cplx> {
+        (0..n).map(|i| Cplx::real(i as f64)).collect()
+    }
+
+    fn reals(v: &[Cplx]) -> Vec<f64> {
+        v.iter().map(|c| c.re).collect()
+    }
+
+    #[test]
+    fn rotate_left_basic() {
+        let mut v = seq(5);
+        rotate_left(&mut v, 2);
+        assert_eq!(reals(&v), [2.0, 3.0, 4.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn rotate_right_undoes_left() {
+        let mut v = seq(7);
+        rotate_left(&mut v, 3);
+        rotate_right(&mut v, 3);
+        assert_eq!(reals(&v), reals(&seq(7)));
+    }
+
+    #[test]
+    fn rotate_wraps_modulo_len() {
+        let mut a = seq(4);
+        let mut b = seq(4);
+        rotate_left(&mut a, 6);
+        rotate_left(&mut b, 2);
+        assert_eq!(reals(&a), reals(&b));
+    }
+
+    #[test]
+    fn rotate_empty_is_noop() {
+        let mut v: Vec<Cplx> = vec![];
+        rotate_left(&mut v, 3);
+        rotate_right(&mut v, 3);
+    }
+
+    #[test]
+    fn fftshift_even() {
+        let mut v = seq(6);
+        fftshift(&mut v);
+        assert_eq!(reals(&v), [3.0, 4.0, 5.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn fftshift_odd_matches_numpy() {
+        let mut v = seq(5);
+        fftshift(&mut v);
+        assert_eq!(reals(&v), [3.0, 4.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ifftshift_inverts_fftshift() {
+        for n in [2usize, 5, 6, 9, 16] {
+            let mut v = seq(n);
+            fftshift(&mut v);
+            ifftshift(&mut v);
+            assert_eq!(reals(&v), reals(&seq(n)), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Stockham autosort FFT: an out-of-place radix-2 formulation that avoids
+//! the bit-reversal pass by re-sorting as it goes (ping-pong buffers).
+//!
+//! This is the algorithm GPU FFT libraries (including cuFFT) actually
+//! build on — every pass reads and writes with unit stride, which is what
+//! makes the `2·16·n` bytes-per-pass traffic model in `cusfft::cufft`
+//! accurate. Here it doubles as an independent second implementation the
+//! [`crate::plan::Plan`] is cross-checked against.
+
+use crate::cplx::{Cplx, ZERO};
+use crate::plan::is_pow2;
+use crate::Direction;
+
+/// A Stockham autosort plan for a power-of-two size.
+#[derive(Debug, Clone)]
+pub struct StockhamPlan {
+    n: usize,
+    /// Twiddles per stage: stage `s` (len `2^{s+1}`) uses `2^s` factors.
+    stage_twiddles: Vec<Vec<Cplx>>,
+}
+
+impl StockhamPlan {
+    /// Builds a plan for an `n`-point transform (`n` a power of two).
+    pub fn new(n: usize) -> Self {
+        assert!(is_pow2(n), "StockhamPlan requires a power of two, got {n}");
+        let log2n = n.trailing_zeros();
+        let mut stage_twiddles = Vec::with_capacity(log2n as usize);
+        for s in 0..log2n {
+            let half = 1usize << s;
+            let len = half * 2;
+            let base = -std::f64::consts::TAU / len as f64;
+            stage_twiddles.push((0..half).map(|j| Cplx::cis(base * j as f64)).collect());
+        }
+        StockhamPlan { n, stage_twiddles }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never empty; 1-point plans have length 1.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Executes the transform out of place using `scratch` (same length)
+    /// as the ping-pong partner. The result ends up in `data`.
+    pub fn process_with_scratch(
+        &self,
+        data: &mut [Cplx],
+        scratch: &mut [Cplx],
+        dir: Direction,
+    ) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "data length mismatch");
+        assert_eq!(scratch.len(), n, "scratch length mismatch");
+        if n == 1 {
+            return;
+        }
+        let conj = dir == Direction::Inverse;
+
+        // Stockham DIT: at stage s, the transform consists of n/len
+        // interleaved blocks; src index (q, j, h) → dst with the block
+        // count halving each stage.
+        let mut src: &mut [Cplx] = data;
+        let mut dst: &mut [Cplx] = scratch;
+        for (s, tw) in self.stage_twiddles.iter().enumerate() {
+            let half = 1usize << s; // butterflies per block
+            let blocks = n >> (s + 1); // remaining "columns"
+            for q in 0..blocks {
+                for j in 0..half {
+                    let mut w = tw[j];
+                    if conj {
+                        w = w.conj();
+                    }
+                    let a = src[q * half + j];
+                    let b = src[(q + blocks) * half + j] * w;
+                    dst[q * 2 * half + j] = a + b;
+                    dst[q * 2 * half + half + j] = a - b;
+                }
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        // After log2n swaps the result is in `src`; copy back if that is
+        // the scratch buffer.
+        if self.stage_twiddles.len() % 2 == 1 {
+            dst.copy_from_slice(src);
+        }
+        if dir == Direction::Inverse {
+            let inv = 1.0 / n as f64;
+            for v in data.iter_mut() {
+                *v = v.scale(inv);
+            }
+        }
+    }
+
+    /// Out-of-place convenience wrapper (allocates the scratch).
+    pub fn transform(&self, input: &[Cplx], dir: Direction) -> Vec<Cplx> {
+        let mut data = input.to_vec();
+        let mut scratch = vec![ZERO; self.n];
+        self.process_with_scratch(&mut data, &mut scratch, dir);
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+    use crate::plan::Plan;
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Cplx> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = ((s >> 16) as u32 as f64) / u32::MAX as f64 - 0.5;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let b = ((s >> 16) as u32 as f64) / u32::MAX as f64 - 0.5;
+                Cplx::new(a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for log2 in 0..=10u32 {
+            let n = 1usize << log2;
+            let x = rand_signal(n, log2 as u64 + 1);
+            let got = StockhamPlan::new(n).transform(&x, Direction::Forward);
+            let expect = dft(&x, Direction::Forward);
+            for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+                assert!(
+                    a.dist(*b) < 1e-8 * n as f64,
+                    "n={n} elem {i}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_radix2_plan() {
+        let n = 1 << 12;
+        let x = rand_signal(n, 7);
+        let a = StockhamPlan::new(n).transform(&x, Direction::Forward);
+        let b = Plan::new(n).transform(&x, Direction::Forward);
+        let scale = (n as f64).sqrt();
+        for (u, v) in a.iter().zip(&b) {
+            assert!(u.dist(*v) < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let n = 1 << 9;
+        let x = rand_signal(n, 3);
+        let p = StockhamPlan::new(n);
+        let y = p.transform(&x, Direction::Forward);
+        let z = p.transform(&y, Direction::Inverse);
+        for (a, b) in z.iter().zip(&x) {
+            assert!(a.dist(*b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scratch_api_leaves_result_in_data() {
+        let n = 64;
+        let x = rand_signal(n, 5);
+        let p = StockhamPlan::new(n);
+        let mut data = x.clone();
+        let mut scratch = vec![ZERO; n];
+        p.process_with_scratch(&mut data, &mut scratch, Direction::Forward);
+        let expect = dft(&x, Direction::Forward);
+        for (a, b) in data.iter().zip(&expect) {
+            assert!(a.dist(*b) < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        StockhamPlan::new(24);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch length")]
+    fn bad_scratch_rejected() {
+        let p = StockhamPlan::new(8);
+        let mut d = vec![ZERO; 8];
+        let mut s = vec![ZERO; 4];
+        p.process_with_scratch(&mut d, &mut s, Direction::Forward);
+    }
+}

@@ -1,0 +1,25 @@
+//! # `filters` — flat-window filter design for the sparse FFT
+//!
+//! Step 2 of the sFFT ("Flat Window Function") needs a filter that is
+//! simultaneously short in time (support `w ≪ n`, so permute+filter is
+//! sublinear) and nearly ideal in frequency (flat over a `b`-bin passband,
+//! ≤ δ outside it, so Fourier coefficients bin into buckets without
+//! leaking into their neighbours).
+//!
+//! * [`cheb`] — Chebyshev polynomials and the Dolph-Chebyshev window;
+//! * [`gauss`] — the truncated Gaussian alternative;
+//! * [`flat`] — the boxcar-flattened [`FlatFilter`] with a banded
+//!   frequency response (the full `n`-point response is never stored:
+//!   at `n = 2²⁷` it would be 2 GiB, and estimation only reads
+//!   `|offset| ≤ n/(2B)`);
+//! * [`quality`] — ripple/leakage/concentration measurements.
+
+pub mod cheb;
+pub mod flat;
+pub mod gauss;
+pub mod quality;
+
+pub use cheb::{cheb_poly, dolph_chebyshev, dolph_width};
+pub use flat::{FlatFilter, WindowKind};
+pub use gauss::{gauss_width, gaussian};
+pub use quality::{measure, FilterQuality};

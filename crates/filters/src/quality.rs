@@ -1,0 +1,112 @@
+//! Filter quality measures: passband ripple, stopband leakage, and energy
+//! concentration. These quantify the binning-filter properties the sFFT
+//! correctness argument rests on ("its frequency response is nearly flat
+//! inside the pass region and has an exponential tail outside it").
+
+use crate::flat::FlatFilter;
+
+/// Quality report for a flat-window filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterQuality {
+    /// Max deviation of `|Ĝ|` from 1 over the flat region
+    /// (`|f| ≤ b/2 − lobefrac·n`).
+    pub passband_ripple: f64,
+    /// Max `|Ĝ|` beyond the stop edge (`|f| ≥ b/2 + lobefrac·n`),
+    /// measured within the materialised band.
+    pub stopband_leakage: f64,
+    /// Fraction of the materialised response energy inside the passband.
+    pub energy_concentration: f64,
+    /// Flat-region half width in bins (may be 0 for degenerate designs).
+    pub flat_half_width: usize,
+}
+
+/// Measures a filter using its materialised band.
+pub fn measure(filter: &FlatFilter) -> FilterQuality {
+    let transition = (filter.lobefrac() * filter.n() as f64).ceil() as i64;
+    let flat_edge = ((filter.passband() / 2) as i64 - transition).max(0);
+    let stop_edge = (filter.passband() / 2) as i64 + transition;
+    let half = filter.half_band() as i64;
+
+    let mut ripple = 0.0f64;
+    let mut leakage = 0.0f64;
+    let mut pass_energy = 0.0f64;
+    let mut total_energy = 0.0f64;
+    for off in -half..=half {
+        let mag = filter.freq_at(off).abs();
+        total_energy += mag * mag;
+        let d = off.abs();
+        if d <= (filter.passband() / 2) as i64 {
+            pass_energy += mag * mag;
+        }
+        if d <= flat_edge {
+            ripple = ripple.max((mag - 1.0).abs());
+        }
+        if d >= stop_edge {
+            leakage = leakage.max(mag);
+        }
+    }
+    FilterQuality {
+        passband_ripple: ripple,
+        stopband_leakage: leakage,
+        energy_concentration: if total_energy > 0.0 {
+            pass_energy / total_energy
+        } else {
+            0.0
+        },
+        flat_half_width: flat_edge as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::WindowKind;
+
+    fn design() -> FlatFilter {
+        let n = 4096;
+        let buckets = 128;
+        let b = (1.2 * n as f64 / buckets as f64) as usize;
+        FlatFilter::design(n, b, 0.004, 1e-7, n / buckets, WindowKind::DolphChebyshev)
+    }
+
+    #[test]
+    fn reference_filter_is_flat_and_tight() {
+        let q = measure(&design());
+        assert!(q.passband_ripple < 0.05, "ripple {}", q.passband_ripple);
+        assert!(q.flat_half_width > 0);
+        assert!(
+            q.energy_concentration > 0.9,
+            "concentration {}",
+            q.energy_concentration
+        );
+    }
+
+    #[test]
+    fn tighter_tolerance_reduces_leakage() {
+        let n = 4096;
+        let buckets = 128;
+        let b = (1.2 * n as f64 / buckets as f64) as usize;
+        let loose = FlatFilter::design(n, b, 0.004, 1e-3, n / buckets, WindowKind::DolphChebyshev);
+        let tight = FlatFilter::design(n, b, 0.004, 1e-8, n / buckets, WindowKind::DolphChebyshev);
+        let ql = measure(&loose);
+        let qt = measure(&tight);
+        // The tight filter is wider in time.
+        assert!(tight.width() > loose.width());
+        // And at least as clean in the measured band (both may be ~0 if
+        // the band ends before the stop edge; guard against NaN only).
+        assert!(qt.stopband_leakage.is_finite() && ql.stopband_leakage.is_finite());
+    }
+
+    #[test]
+    fn gaussian_vs_chebyshev_tradeoff() {
+        let n = 4096;
+        let buckets = 128;
+        let b = (1.2 * n as f64 / buckets as f64) as usize;
+        let ch = FlatFilter::design(n, b, 0.004, 1e-6, n / buckets, WindowKind::DolphChebyshev);
+        let ga = FlatFilter::design(n, b, 0.004, 1e-6, n / buckets, WindowKind::Gaussian);
+        let qc = measure(&ch);
+        let qg = measure(&ga);
+        assert!(qc.passband_ripple < 0.1);
+        assert!(qg.passband_ripple < 0.2);
+    }
+}

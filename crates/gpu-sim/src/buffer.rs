@@ -1,0 +1,144 @@
+//! Device memory buffers.
+//!
+//! A [`DeviceBuffer`] owns its storage (a host `Vec` standing in for device
+//! DRAM) plus a synthetic base address used by the coalescing analyzer.
+//! Rust ownership gives us for free what CUDA programmers enforce by
+//! convention: a buffer cannot be freed while a kernel borrows it, and
+//! host code cannot read it without an explicit device-to-host copy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocator for synthetic device addresses. Buffers get disjoint,
+/// 256-byte-aligned address ranges so the transaction analyzer never
+/// conflates accesses to different buffers.
+static NEXT_ADDR: AtomicU64 = AtomicU64::new(0x1000);
+
+pub(crate) fn alloc_addr(bytes: u64) -> u64 {
+    let aligned = (bytes + 255) & !255;
+    NEXT_ADDR.fetch_add(aligned.max(256), Ordering::Relaxed)
+}
+
+/// A typed allocation in simulated device memory.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    base_addr: u64,
+}
+
+impl<T: Copy + Default> DeviceBuffer<T> {
+    /// Allocates a zero/default-initialised buffer of `len` elements.
+    pub fn zeroed(len: usize) -> Self {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        DeviceBuffer {
+            data: vec![T::default(); len],
+            base_addr: alloc_addr(bytes),
+        }
+    }
+}
+
+impl<T: Copy> DeviceBuffer<T> {
+    /// Allocates a buffer holding a copy of `host` (the data movement cost
+    /// is charged by [`crate::device::GpuDevice::htod`], which calls this).
+    pub fn from_host(host: &[T]) -> Self {
+        let bytes = std::mem::size_of_val(host) as u64;
+        DeviceBuffer {
+            data: host.to_vec(),
+            base_addr: alloc_addr(bytes),
+        }
+    }
+
+    /// Element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<T>() * self.data.len()
+    }
+
+    /// Synthetic device base address (for the transaction analyzer).
+    #[inline]
+    pub fn base_addr(&self) -> u64 {
+        self.base_addr
+    }
+
+    /// Byte address of element `i`.
+    #[inline]
+    pub fn addr_of(&self, i: usize) -> u64 {
+        self.base_addr + (i * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Read-only view for kernels (access it through
+    /// [`crate::gmem::Gmem`] so traffic is accounted).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view — used by the executor for `launch_map` outputs; not
+    /// normally touched by user code.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copies device contents back to a fresh host vector *without* going
+    /// through the device (test/debug helper; benchmark code should use
+    /// [`crate::device::GpuDevice::dtoh`] so PCIe time is charged).
+    pub fn peek(&self) -> Vec<T> {
+        self.data.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_buffer() {
+        let b: DeviceBuffer<f64> = DeviceBuffer::zeroed(100);
+        assert_eq!(b.len(), 100);
+        assert!(!b.is_empty());
+        assert_eq!(b.size_bytes(), 800);
+        assert!(b.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_host_copies() {
+        let host = vec![1u32, 2, 3];
+        let b = DeviceBuffer::from_host(&host);
+        assert_eq!(b.peek(), host);
+    }
+
+    #[test]
+    fn distinct_buffers_do_not_overlap() {
+        let a: DeviceBuffer<f64> = DeviceBuffer::zeroed(64);
+        let b: DeviceBuffer<f64> = DeviceBuffer::zeroed(64);
+        let a_end = a.base_addr() + a.size_bytes() as u64;
+        let b_end = b.base_addr() + b.size_bytes() as u64;
+        assert!(a_end <= b.base_addr() || b_end <= a.base_addr());
+    }
+
+    #[test]
+    fn addr_of_is_linear() {
+        let b: DeviceBuffer<u64> = DeviceBuffer::zeroed(16);
+        assert_eq!(b.addr_of(0), b.base_addr());
+        assert_eq!(b.addr_of(3), b.base_addr() + 24);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b: DeviceBuffer<u8> = DeviceBuffer::zeroed(0);
+        assert!(b.is_empty());
+        assert_eq!(b.size_bytes(), 0);
+    }
+}

@@ -1,0 +1,602 @@
+//! The simulated device: kernel launches, transfers, streams, and the
+//! simulated clock.
+//!
+//! Kernels execute *functionally* on the host (blocks in parallel via
+//! rayon) while a sampled subset of blocks is traced for the cost model.
+//! Two launch shapes cover every kernel in the paper:
+//!
+//! * [`GpuDevice::launch_map`] — thread `tid` computes `out[tid] = f(tid)`.
+//!   Safe scatter-free writes; rayon splits the output into disjoint
+//!   per-block chunks.
+//! * [`GpuDevice::launch_foreach`] — threads read global memory and update
+//!   [`crate::atomic`] arrays; no plain writes. This is the histogram /
+//!   voting shape.
+//!
+//! Every launch and transfer appends an [`Op`] with its modelled duration
+//! to the timeline; [`GpuDevice::elapsed`] replays the stream schedule and
+//! returns the simulated makespan.
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use crate::buffer::DeviceBuffer;
+use crate::cost::{bound_by, kernel_cost, transfer_time, KernelCost};
+use crate::gmem::Gmem;
+use crate::launch::{LaunchConfig, ThreadCtx};
+use crate::metrics::{aggregate, KernelStats};
+use crate::spec::DeviceSpec;
+use crate::timeline::{schedule, Engine, Op, StreamId};
+use crate::trace::ThreadTrace;
+
+/// Upper bound on traced threads per launch — keeps tracing overhead flat
+/// regardless of problem size.
+const MAX_SAMPLED_THREADS: u64 = 1 << 14;
+
+/// One completed launch (or transfer), for profiler reports.
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    /// Kernel or transfer label.
+    pub name: String,
+    /// Aggregated statistics (empty for transfers).
+    pub stats: KernelStats,
+    /// Modelled cost breakdown.
+    pub cost: KernelCost,
+    /// Stream the op ran on.
+    pub stream: StreamId,
+    /// Dominant resource ("bandwidth" / "latency" / "compute" / "atomic" /
+    /// "pcie").
+    pub bound: &'static str,
+}
+
+/// The default stream.
+pub const DEFAULT_STREAM: StreamId = StreamId(0);
+
+/// A recorded event: completion of everything enqueued on a stream at
+/// record time (CUDA `cudaEventRecord`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventId(usize);
+
+struct DeviceState {
+    ops: Vec<Op>,
+    records: Vec<LaunchRecord>,
+    next_stream: u32,
+    /// Recorded events: the op id each event marks (None when the stream
+    /// was empty at record time — an already-satisfied event).
+    events: Vec<Option<usize>>,
+    /// Event waits registered per stream, attached to that stream's next
+    /// enqueued op (CUDA `cudaStreamWaitEvent`).
+    pending_waits: Vec<(StreamId, usize)>,
+}
+
+/// A simulated CUDA device.
+pub struct GpuDevice {
+    spec: DeviceSpec,
+    state: Mutex<DeviceState>,
+}
+
+impl GpuDevice {
+    /// Creates a device with the given spec.
+    pub fn new(spec: DeviceSpec) -> Self {
+        GpuDevice {
+            spec,
+            state: Mutex::new(DeviceState {
+                ops: Vec::new(),
+                records: Vec::new(),
+                next_stream: 1,
+                events: Vec::new(),
+                pending_waits: Vec::new(),
+            }),
+        }
+    }
+
+    /// Creates the paper's test-bench device (Tesla K20x).
+    pub fn k20x() -> Self {
+        Self::new(DeviceSpec::tesla_k20x())
+    }
+
+    /// Device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Creates a new stream.
+    pub fn create_stream(&self) -> StreamId {
+        let mut st = self.state.lock();
+        let id = st.next_stream;
+        st.next_stream += 1;
+        StreamId(id)
+    }
+
+    /// Records an event on `stream`: it fires when everything enqueued on
+    /// the stream so far has completed (`cudaEventRecord`).
+    pub fn record_event(&self, stream: StreamId) -> EventId {
+        let mut st = self.state.lock();
+        let last = st.ops.iter().rev().find(|o| o.stream == stream).map(|o| o.id);
+        st.events.push(last);
+        EventId(st.events.len() - 1)
+    }
+
+    /// Makes the *next* operation enqueued on `stream` wait for `event`
+    /// (`cudaStreamWaitEvent`).
+    pub fn stream_wait_event(&self, stream: StreamId, event: EventId) {
+        let mut st = self.state.lock();
+        if let Some(Some(op_id)) = st.events.get(event.0).copied() {
+            st.pending_waits.push((stream, op_id));
+        }
+        // An event recorded on an empty stream is already satisfied.
+    }
+
+    fn take_waits(st: &mut DeviceState, stream: StreamId) -> Vec<usize> {
+        let mut deps = Vec::new();
+        st.pending_waits.retain(|&(s, d)| {
+            if s == stream {
+                deps.push(d);
+                false
+            } else {
+                true
+            }
+        });
+        deps
+    }
+
+    /// Host→device copy; charges PCIe time on `stream`.
+    pub fn htod<T: Copy>(&self, host: &[T], stream: StreamId) -> DeviceBuffer<T> {
+        let buf = DeviceBuffer::from_host(host);
+        self.push_transfer("htod", buf.size_bytes(), stream);
+        buf
+    }
+
+    /// Allocates a zeroed device buffer (cudaMalloc+cudaMemset; modelled
+    /// as free, matching the paper's timing which excludes allocation).
+    pub fn alloc_zeroed<T: Copy + Default>(&self, len: usize) -> DeviceBuffer<T> {
+        DeviceBuffer::zeroed(len)
+    }
+
+    /// Device→host copy; charges PCIe time on `stream`.
+    pub fn dtoh<T: Copy>(&self, buf: &DeviceBuffer<T>, stream: StreamId) -> Vec<T> {
+        self.push_transfer("dtoh", buf.size_bytes(), stream);
+        buf.peek()
+    }
+
+    fn push_transfer(&self, label: &str, bytes: usize, stream: StreamId) {
+        let dur = transfer_time(&self.spec, bytes);
+        let mut st = self.state.lock();
+        let id = st.ops.len();
+        let mut op = Op::new(id, stream, Engine::Pcie, dur, label.to_string());
+        op.wait_for = Self::take_waits(&mut st, stream);
+        st.ops.push(op);
+        st.records.push(LaunchRecord {
+            name: format!("{label} ({bytes} B)"),
+            stats: KernelStats::default(),
+            cost: KernelCost {
+                total: dur,
+                ..Default::default()
+            },
+            stream,
+            bound: "pcie",
+        });
+    }
+
+    /// Charges an externally-modelled device operation (used by the cuFFT
+    /// model, whose internals we do not trace kernel-by-kernel).
+    pub fn charge_device_op(&self, label: &str, duration: f64, stream: StreamId) {
+        let mut st = self.state.lock();
+        let id = st.ops.len();
+        let mut op = Op::new(id, stream, Engine::Device, duration, label.to_string());
+        op.wait_for = Self::take_waits(&mut st, stream);
+        st.ops.push(op);
+        st.records.push(LaunchRecord {
+            name: label.to_string(),
+            stats: KernelStats::default(),
+            cost: KernelCost {
+                total: duration,
+                ..Default::default()
+            },
+            stream,
+            bound: "modelled",
+        });
+    }
+
+    /// Launches a map kernel: thread `tid` computes `out[tid] = f(ctx, gm)`
+    /// for `tid < out.len()`. The grid must cover the output.
+    pub fn launch_map<T, F>(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        stream: StreamId,
+        out: &mut DeviceBuffer<T>,
+        f: F,
+    ) where
+        T: Copy + Send + Sync,
+        F: Fn(ThreadCtx, &mut Gmem<'_>) -> T + Sync,
+    {
+        self.launch_map_inner(name, cfg, stream, out, f, false);
+    }
+
+    /// Like [`GpuDevice::launch_map`], but the output is an L2-resident
+    /// scratch buffer consumed by the next kernel on the stream before it
+    /// can be evicted: the stores are not charged as DRAM traffic. The
+    /// caller must ensure `out` fits in L2
+    /// ([`crate::spec::DeviceSpec::l2_bytes`]).
+    pub fn launch_map_scratch<T, F>(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        stream: StreamId,
+        out: &mut DeviceBuffer<T>,
+        f: F,
+    ) where
+        T: Copy + Send + Sync,
+        F: Fn(ThreadCtx, &mut Gmem<'_>) -> T + Sync,
+    {
+        assert!(
+            out.size_bytes() <= self.spec.l2_bytes,
+            "scratch buffer ({} B) exceeds L2 ({} B)",
+            out.size_bytes(),
+            self.spec.l2_bytes
+        );
+        self.launch_map_inner(name, cfg, stream, out, f, true);
+    }
+
+    fn launch_map_inner<T, F>(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        stream: StreamId,
+        out: &mut DeviceBuffer<T>,
+        f: F,
+        cached_store: bool,
+    ) where
+        T: Copy + Send + Sync,
+        F: Fn(ThreadCtx, &mut Gmem<'_>) -> T + Sync,
+    {
+        assert!(
+            cfg.total_threads() >= out.len() as u64,
+            "grid ({} threads) does not cover output ({} elements)",
+            cfg.total_threads(),
+            out.len()
+        );
+        let block_dim = cfg.block_dim as usize;
+        let sample_every = sample_every(cfg);
+        let out_base = out.base_addr();
+        let elem = std::mem::size_of::<T>();
+
+        let block_traces: Vec<Vec<ThreadTrace>> = out
+            .as_mut_slice()
+            .par_chunks_mut(block_dim)
+            .enumerate()
+            .filter_map(|(block_idx, chunk)| {
+                let traced = block_idx % sample_every == 0;
+                let mut traces: Vec<ThreadTrace> = if traced {
+                    vec![ThreadTrace::default(); chunk.len()]
+                } else {
+                    Vec::new()
+                };
+                for (t, slot) in chunk.iter_mut().enumerate() {
+                    let ctx = ThreadCtx {
+                        block_idx: block_idx as u32,
+                        thread_idx: t as u32,
+                        block_dim: cfg.block_dim,
+                        grid_dim: cfg.grid_dim,
+                    };
+                    let tid = ctx.global_id();
+                    let mut gm = if traced {
+                        Gmem::traced(&mut traces[t])
+                    } else {
+                        Gmem::untraced()
+                    };
+                    let v = f(ctx, &mut gm);
+                    gm.note_store(out_base + (tid * elem) as u64, elem as u32, cached_store);
+                    *slot = v;
+                }
+                if traced {
+                    Some(traces)
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        self.finish_launch(name, cfg, stream, block_traces, sample_every);
+    }
+
+    /// Launches a side-effect kernel: every thread runs `f(ctx, gm)`;
+    /// writes go through [`crate::atomic`] arrays captured by the closure.
+    pub fn launch_foreach<F>(&self, name: &str, cfg: LaunchConfig, stream: StreamId, f: F)
+    where
+        F: Fn(ThreadCtx, &mut Gmem<'_>) + Sync,
+    {
+        let sample_every = sample_every(cfg);
+        let block_traces: Vec<Vec<ThreadTrace>> = (0..cfg.grid_dim as usize)
+            .into_par_iter()
+            .filter_map(|block_idx| {
+                let traced = block_idx % sample_every == 0;
+                let mut traces: Vec<ThreadTrace> = if traced {
+                    vec![ThreadTrace::default(); cfg.block_dim as usize]
+                } else {
+                    Vec::new()
+                };
+                #[allow(clippy::needless_range_loop)]
+                for t in 0..cfg.block_dim as usize {
+                    let ctx = ThreadCtx {
+                        block_idx: block_idx as u32,
+                        thread_idx: t as u32,
+                        block_dim: cfg.block_dim,
+                        grid_dim: cfg.grid_dim,
+                    };
+                    let mut gm = if traced {
+                        Gmem::traced(&mut traces[t])
+                    } else {
+                        Gmem::untraced()
+                    };
+                    f(ctx, &mut gm);
+                }
+                if traced {
+                    Some(traces)
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        self.finish_launch(name, cfg, stream, block_traces, sample_every);
+    }
+
+    fn finish_launch(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        stream: StreamId,
+        block_traces: Vec<Vec<ThreadTrace>>,
+        sample_every: usize,
+    ) {
+        let sampled_blocks = block_traces.len().max(1);
+        let scale = cfg.grid_dim as f64 / sampled_blocks as f64;
+        let _ = sample_every;
+        let stats = aggregate(name, cfg, self.spec.warp_size, &block_traces, scale);
+        let cost = kernel_cost(&self.spec, &stats);
+        let mut st = self.state.lock();
+        let id = st.ops.len();
+        let mut op = Op::new(id, stream, Engine::Device, cost.total, name.to_string());
+        op.wait_for = Self::take_waits(&mut st, stream);
+        st.ops.push(op);
+        let bound = bound_by(&cost);
+        st.records.push(LaunchRecord {
+            name: name.to_string(),
+            stats,
+            cost,
+            stream,
+            bound,
+        });
+    }
+
+    /// Replays the stream schedule and returns the simulated elapsed time
+    /// (seconds) of everything since the last [`GpuDevice::reset_clock`].
+    pub fn elapsed(&self) -> f64 {
+        let st = self.state.lock();
+        schedule(&st.ops, self.spec.max_concurrent_kernels).makespan
+    }
+
+    /// Clears all recorded operations (the simulated clock returns to 0).
+    pub fn reset_clock(&self) {
+        let mut st = self.state.lock();
+        st.ops.clear();
+        st.records.clear();
+        st.events.clear();
+        st.pending_waits.clear();
+    }
+
+    /// Snapshot of all launch records since the last reset.
+    pub fn records(&self) -> Vec<LaunchRecord> {
+        self.state.lock().records.clone()
+    }
+
+    /// Sum of modelled durations grouped by kernel name — the profiler view
+    /// used to regenerate the paper's Figure 2.
+    pub fn time_by_kernel(&self) -> Vec<(String, f64)> {
+        let st = self.state.lock();
+        let mut acc: Vec<(String, f64)> = Vec::new();
+        for r in &st.records {
+            match acc.iter_mut().find(|(n, _)| *n == r.name) {
+                Some((_, t)) => *t += r.cost.total,
+                None => acc.push((r.name.clone(), r.cost.total)),
+            }
+        }
+        acc
+    }
+
+    /// Renders a per-kernel profile table.
+    pub fn profile_report(&self) -> String {
+        let st = self.state.lock();
+        let mut s = String::from(
+            "kernel                           | time(ms) | bound     | txns       | bytes      | warps\n",
+        );
+        for r in &st.records {
+            s.push_str(&format!(
+                "{:<32} | {:>8.4} | {:<9} | {:>10.0} | {:>10.0} | {:>6}\n",
+                r.name,
+                r.cost.total * 1e3,
+                r.bound,
+                r.stats.transactions,
+                r.stats.dram_bytes,
+                r.stats.warps
+            ));
+        }
+        s
+    }
+}
+
+/// Picks the block-sampling stride so that at most [`MAX_SAMPLED_THREADS`]
+/// threads are traced.
+fn sample_every(cfg: LaunchConfig) -> usize {
+    let max_blocks = (MAX_SAMPLED_THREADS / cfg.block_dim as u64).max(1);
+    (cfg.grid_dim as u64).div_ceil(max_blocks).max(1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::DevAtomicU32;
+    use crate::spec::DeviceSpec;
+    use fft::Cplx;
+
+    #[test]
+    fn map_kernel_computes_correct_values() {
+        let dev = GpuDevice::new(DeviceSpec::test_tiny());
+        let input = dev.htod(&(0..1000u64).collect::<Vec<_>>(), DEFAULT_STREAM);
+        let mut out: DeviceBuffer<u64> = dev.alloc_zeroed(1000);
+        let cfg = LaunchConfig::for_elements(1000, 64);
+        dev.launch_map("square", cfg, DEFAULT_STREAM, &mut out, |ctx, gm| {
+            let v = gm.ld(&input, ctx.global_id());
+            v * v
+        });
+        let host = dev.dtoh(&out, DEFAULT_STREAM);
+        for (i, v) in host.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn foreach_kernel_with_atomics() {
+        let dev = GpuDevice::new(DeviceSpec::test_tiny());
+        let hist = DevAtomicU32::zeroed(16);
+        let cfg = LaunchConfig::for_elements(4096, 64);
+        dev.launch_foreach("hist", cfg, DEFAULT_STREAM, |ctx, gm| {
+            hist.fetch_add(gm, ctx.global_id() % 16, 1);
+        });
+        assert!(hist.snapshot().iter().all(|&c| c == 256));
+    }
+
+    #[test]
+    fn elapsed_grows_with_work_and_resets() {
+        let dev = GpuDevice::new(DeviceSpec::test_tiny());
+        assert_eq!(dev.elapsed(), 0.0);
+        let data: Vec<f64> = vec![1.0; 4096];
+        let input = dev.htod(&data, DEFAULT_STREAM);
+        let mut out: DeviceBuffer<f64> = dev.alloc_zeroed(4096);
+        dev.launch_map(
+            "copy",
+            LaunchConfig::for_elements(4096, 64),
+            DEFAULT_STREAM,
+            &mut out,
+            |ctx, gm| gm.ld(&input, ctx.global_id()),
+        );
+        let t1 = dev.elapsed();
+        assert!(t1 > 0.0);
+        dev.launch_map(
+            "copy2",
+            LaunchConfig::for_elements(4096, 64),
+            DEFAULT_STREAM,
+            &mut out,
+            |ctx, gm| gm.ld(&input, ctx.global_id()),
+        );
+        assert!(dev.elapsed() > t1);
+        dev.reset_clock();
+        assert_eq!(dev.elapsed(), 0.0);
+        assert!(dev.records().is_empty());
+    }
+
+    #[test]
+    fn scattered_kernel_costs_more_than_coalesced() {
+        let dev = GpuDevice::new(DeviceSpec::tesla_k20x());
+        let n = 1usize << 20;
+        let data: Vec<f64> = vec![1.0; n];
+        let input = DeviceBuffer::from_host(&data); // skip transfer charge
+        let cfg = LaunchConfig::for_elements(n, 256);
+
+        let mut out: DeviceBuffer<f64> = dev.alloc_zeroed(n);
+        dev.launch_map("coalesced", cfg, DEFAULT_STREAM, &mut out, |ctx, gm| {
+            gm.ld(&input, ctx.global_id())
+        });
+        let t_coal = dev.elapsed();
+        dev.reset_clock();
+
+        // 8-byte elements scattered into distinct 32 B segments: 4×
+        // read-traffic amplification (8 B useful per 32 B segment).
+        let stride = 999_983; // prime, co-prime with n → full scatter
+        dev.launch_map("scattered", cfg, DEFAULT_STREAM, &mut out, |ctx, gm| {
+            gm.ld(&input, (ctx.global_id() * stride) % n)
+        });
+        let t_scat = dev.elapsed();
+        assert!(
+            t_scat > 1.5 * t_coal,
+            "scatter {t_scat:.2e} should cost well over coalesced {t_coal:.2e}"
+        );
+    }
+
+    #[test]
+    fn streams_overlap_transfers_with_kernels() {
+        let dev = GpuDevice::new(DeviceSpec::test_tiny());
+        let s1 = dev.create_stream();
+        let s2 = dev.create_stream();
+        assert_ne!(s1, s2);
+        // Large transfer on s1, kernel on s2: makespan ≈ max, not sum.
+        let big: Vec<f64> = vec![0.0; 1 << 16];
+        let _buf = dev.htod(&big, s1);
+        dev.charge_device_op("k", transfer_time(dev.spec(), 8 << 16), s2);
+        let serial: f64 = dev
+            .records()
+            .iter()
+            .map(|r| r.cost.total)
+            .sum();
+        assert!(dev.elapsed() < serial * 0.75);
+    }
+
+    #[test]
+    fn profiler_report_contains_kernels() {
+        let dev = GpuDevice::new(DeviceSpec::test_tiny());
+        let mut out: DeviceBuffer<u32> = dev.alloc_zeroed(128);
+        dev.launch_map(
+            "mykernel",
+            LaunchConfig::for_elements(128, 32),
+            DEFAULT_STREAM,
+            &mut out,
+            |ctx, _| ctx.global_id() as u32,
+        );
+        let report = dev.profile_report();
+        assert!(report.contains("mykernel"));
+        let by_kernel = dev.time_by_kernel();
+        assert_eq!(by_kernel.len(), 1);
+        assert!(by_kernel[0].1 > 0.0);
+    }
+
+    #[test]
+    fn sampling_still_estimates_full_traffic() {
+        // Launch with far more threads than MAX_SAMPLED_THREADS and check
+        // extrapolated bytes ≈ ideal.
+        let dev = GpuDevice::new(DeviceSpec::tesla_k20x());
+        let n = 1usize << 18;
+        let data: Vec<Cplx> = vec![Cplx::new(0.0, 0.0); n];
+        let input = DeviceBuffer::from_host(&data);
+        let mut out: DeviceBuffer<Cplx> = dev.alloc_zeroed(n);
+        dev.launch_map(
+            "stream",
+            LaunchConfig::for_elements(n, 256),
+            DEFAULT_STREAM,
+            &mut out,
+            |ctx, gm| gm.ld(&input, ctx.global_id()),
+        );
+        let rec = &dev.records()[0];
+        let ideal = (n * 32) as f64; // 16 B read + 16 B write per element
+        let ratio = rec.stats.dram_bytes / ideal;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "extrapolated traffic off by {ratio}"
+        );
+        assert!(rec.stats.sampled_warps < rec.stats.warps);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover output")]
+    fn undersized_grid_panics() {
+        let dev = GpuDevice::new(DeviceSpec::test_tiny());
+        let mut out: DeviceBuffer<u32> = dev.alloc_zeroed(1000);
+        dev.launch_map(
+            "bad",
+            LaunchConfig::new(1, 32),
+            DEFAULT_STREAM,
+            &mut out,
+            |_, _| 0,
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! Aggregation of per-thread traces into kernel-level statistics.
+//!
+//! The executor samples a subset of blocks, traces every access those
+//! blocks make, and calls [`aggregate`] to turn the traces into a
+//! [`KernelStats`] — extrapolating by the sampling factor. `KernelStats`
+//! is the sole input (besides the [`crate::spec::DeviceSpec`]) to the cost
+//! model, so everything the simulator "believes" about a kernel is
+//! inspectable here.
+
+use std::collections::HashMap;
+
+use crate::launch::LaunchConfig;
+use crate::trace::{warp_transactions, AccessKind, ThreadTrace};
+
+/// Per-slot warp instruction: the kind (first seen) and lane addresses.
+type SlotAccesses = (Option<AccessKind>, Vec<(u64, u32)>);
+
+/// Per-launch statistics, extrapolated from the sampled blocks.
+#[derive(Debug, Clone, Default)]
+pub struct KernelStats {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// Total threads launched.
+    pub threads: u64,
+    /// Total warps launched.
+    pub warps: u64,
+    /// Warps actually traced.
+    pub sampled_warps: u64,
+    /// Double-precision flops (extrapolated).
+    pub flops: f64,
+    /// DRAM traffic in bytes (extrapolated, after coalescing analysis).
+    pub dram_bytes: f64,
+    /// DRAM transactions (extrapolated).
+    pub transactions: f64,
+    /// Total memory instructions (extrapolated).
+    pub mem_ops: f64,
+    /// Mean serial-dependence chain length per thread (weighted; an
+    /// accumulator-chained load contributes 1/UNROLL).
+    pub chain_len: f64,
+    /// Mean memory ops per thread.
+    pub ops_per_thread: f64,
+    /// Atomic operations (extrapolated).
+    pub atomic_ops: f64,
+    /// Estimated worst per-address atomic multiplicity (extrapolated) —
+    /// the serialisation depth the cost model charges.
+    pub atomic_max_conflict: f64,
+    /// Launch geometry.
+    pub block_dim: u32,
+    /// Launch geometry.
+    pub grid_dim: u32,
+    /// Dynamic shared memory per block.
+    pub shared_mem_bytes: u32,
+}
+
+impl KernelStats {
+    /// Memory-level parallelism: independent requests a warp keeps in
+    /// flight, derived from ops-per-thread vs. chain length. A kernel
+    /// with no serial dependence at all (pure gather/scatter) runs at the
+    /// hardware maximum — the warp retires its load and the scheduler
+    /// rotates, so outstanding requests are bounded by MSHRs, not by the
+    /// kernel.
+    pub fn mlp(&self) -> f64 {
+        const MAX_MLP: f64 = 8.0;
+        if self.ops_per_thread <= 0.0 {
+            return 1.0;
+        }
+        if self.chain_len < 0.5 {
+            return MAX_MLP;
+        }
+        (self.ops_per_thread / self.chain_len).clamp(1.0, MAX_MLP)
+    }
+}
+
+/// Builds kernel statistics from the traces of the sampled blocks.
+///
+/// `block_traces` holds, for each sampled block, the traces of all its
+/// threads in thread order. `sample_scale = grid_dim / sampled_blocks`
+/// extrapolates sampled quantities to the full launch.
+pub fn aggregate(
+    name: &str,
+    cfg: LaunchConfig,
+    warp_size: u32,
+    block_traces: &[Vec<ThreadTrace>],
+    sample_scale: f64,
+) -> KernelStats {
+    let mut flops = 0u64;
+    let mut bytes = 0u64;
+    let mut txns = 0u64;
+    let mut mem_ops = 0u64;
+    let mut chain_sum = 0.0f64;
+    let mut sampled_threads = 0u64;
+    let mut sampled_warps = 0u64;
+    let mut atomic_ops = 0u64;
+    let mut atomic_hist: HashMap<u64, u64> = HashMap::new();
+
+    for traces in block_traces {
+        sampled_threads += traces.len() as u64;
+        for warp in traces.chunks(warp_size as usize) {
+            sampled_warps += 1;
+            // Group this warp's accesses by slot to form warp instructions.
+            let max_slot = warp
+                .iter()
+                .flat_map(|t| t.accesses.iter().map(|a| a.slot))
+                .max()
+                .map(|s| s as usize + 1)
+                .unwrap_or(0);
+            let mut per_slot: Vec<SlotAccesses> = vec![(None, Vec::new()); max_slot];
+            for t in warp {
+                flops += t.flops;
+                chain_sum += t.chain_len as f64;
+                for a in &t.accesses {
+                    match a.kind {
+                        // L2-resident traffic: no DRAM transactions and no
+                        // MSHR pressure.
+                        AccessKind::CachedRead | AccessKind::CachedWrite => continue,
+                        AccessKind::Atomic => {
+                            mem_ops += 1;
+                            atomic_ops += 1;
+                            *atomic_hist.entry(a.addr).or_insert(0) += 1;
+                        }
+                        _ => mem_ops += 1,
+                    }
+                    let slot = &mut per_slot[a.slot as usize];
+                    slot.0.get_or_insert(a.kind);
+                    slot.1.push((a.addr, a.bytes));
+                }
+            }
+            for (kind, addrs) in &per_slot {
+                if addrs.is_empty() {
+                    continue;
+                }
+                let policy = kind.unwrap_or(AccessKind::Read).policy();
+                let t = warp_transactions(addrs, 128, 32, policy);
+                txns += t.transactions;
+                bytes += t.bytes;
+            }
+        }
+    }
+
+    let max_conflict = atomic_hist.values().copied().max().unwrap_or(0);
+    let threads = cfg.total_threads();
+    let warps = cfg.total_warps(warp_size);
+    let ops_per_thread = if sampled_threads > 0 {
+        mem_ops as f64 / sampled_threads as f64
+    } else {
+        0.0
+    };
+    let chain_len = if sampled_threads > 0 {
+        chain_sum / sampled_threads as f64
+    } else {
+        0.0
+    };
+
+    KernelStats {
+        name: name.to_string(),
+        threads,
+        warps,
+        sampled_warps,
+        flops: flops as f64 * sample_scale,
+        dram_bytes: bytes as f64 * sample_scale,
+        transactions: txns as f64 * sample_scale,
+        mem_ops: mem_ops as f64 * sample_scale,
+        chain_len,
+        ops_per_thread,
+        atomic_ops: atomic_ops as f64 * sample_scale,
+        atomic_max_conflict: max_conflict as f64 * sample_scale,
+        block_dim: cfg.block_dim,
+        grid_dim: cfg.grid_dim,
+        shared_mem_bytes: cfg.shared_mem_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::AccessKind;
+
+    fn mk_trace(accesses: &[(u64, AccessKind)]) -> ThreadTrace {
+        let mut t = ThreadTrace::default();
+        for &(addr, kind) in accesses {
+            t.record(addr, 16, kind);
+        }
+        t
+    }
+
+    #[test]
+    fn coalesced_block_counts_few_transactions() {
+        // 32 threads each load element tid (16 B) — one warp, 4×128 B lines.
+        let cfg = LaunchConfig::new(1, 32);
+        let traces: Vec<ThreadTrace> = (0..32)
+            .map(|i| mk_trace(&[(i as u64 * 16, AccessKind::Read)]))
+            .collect();
+        let s = aggregate("k", cfg, 32, &[traces], 1.0);
+        assert_eq!(s.transactions as u64, 4);
+        assert_eq!(s.dram_bytes as u64, 512);
+        assert_eq!(s.mem_ops as u64, 32);
+        assert!((s.mlp() - 8.0).abs() < 1e-9, "chain-free kernel runs at max MLP");
+    }
+
+    #[test]
+    fn scattered_default_path_fetches_full_lines() {
+        let cfg = LaunchConfig::new(1, 32);
+        let traces: Vec<ThreadTrace> = (0..32)
+            .map(|i| mk_trace(&[(i as u64 * 100_000, AccessKind::Read)]))
+            .collect();
+        let s = aggregate("k", cfg, 32, &[traces], 1.0);
+        assert_eq!(s.transactions as u64, 32);
+        assert_eq!(s.dram_bytes as u64, 32 * 128, "default path: 128 B lines");
+    }
+
+    #[test]
+    fn scattered_readonly_path_uses_segments() {
+        let cfg = LaunchConfig::new(1, 32);
+        let traces: Vec<ThreadTrace> = (0..32)
+            .map(|i| mk_trace(&[(i as u64 * 100_000, AccessKind::ReadOnly)]))
+            .collect();
+        let s = aggregate("k", cfg, 32, &[traces], 1.0);
+        assert_eq!(s.transactions as u64, 32);
+        assert_eq!(s.dram_bytes as u64, 32 * 32, "__ldg path: 32 B segments");
+    }
+
+    #[test]
+    fn cached_scratch_traffic_is_free() {
+        let cfg = LaunchConfig::new(1, 32);
+        let traces: Vec<ThreadTrace> = (0..32)
+            .map(|i| mk_trace(&[(i as u64 * 16, AccessKind::CachedRead)]))
+            .collect();
+        let s = aggregate("k", cfg, 32, &[traces], 1.0);
+        assert_eq!(s.transactions as u64, 0);
+        assert_eq!(s.dram_bytes as u64, 0);
+        assert_eq!(s.mem_ops as u64, 0);
+    }
+
+    #[test]
+    fn sample_scale_extrapolates() {
+        let cfg = LaunchConfig::new(10, 32); // 10 blocks, 1 sampled
+        let traces: Vec<ThreadTrace> = (0..32)
+            .map(|i| {
+                let mut t = mk_trace(&[(i as u64 * 16, AccessKind::Read)]);
+                t.add_flops(10);
+                t
+            })
+            .collect();
+        let s = aggregate("k", cfg, 32, &[traces], 10.0);
+        assert_eq!(s.flops as u64, 3200);
+        assert_eq!(s.transactions as u64, 40);
+        assert_eq!(s.threads, 320);
+        assert_eq!(s.warps, 10);
+        assert_eq!(s.sampled_warps, 1);
+    }
+
+    #[test]
+    fn atomic_conflicts_tracked() {
+        let cfg = LaunchConfig::new(1, 32);
+        // All 32 threads hit the same atomic address; 16 hit another.
+        let traces: Vec<ThreadTrace> = (0..32)
+            .map(|i| {
+                let mut t = ThreadTrace::default();
+                t.record(0, 4, AccessKind::Atomic);
+                if i < 16 {
+                    t.record(64, 4, AccessKind::Atomic);
+                }
+                t
+            })
+            .collect();
+        let s = aggregate("k", cfg, 32, &[traces], 1.0);
+        assert_eq!(s.atomic_ops as u64, 48);
+        assert_eq!(s.atomic_max_conflict as u64, 32);
+    }
+
+    #[test]
+    fn chain_length_reduces_mlp() {
+        let cfg = LaunchConfig::new(1, 32);
+        let traces: Vec<ThreadTrace> = (0..32)
+            .map(|_| {
+                let mut t = ThreadTrace::default();
+                for j in 0..8u64 {
+                    t.record(j * 4096, 16, AccessKind::ReadDependent);
+                }
+                t
+            })
+            .collect();
+        let s = aggregate("k", cfg, 32, &[traces], 1.0);
+        assert!((s.chain_len - 8.0).abs() < 1e-9);
+        assert!((s.mlp() - 1.0).abs() < 1e-9, "fully chained → mlp 1");
+    }
+
+    #[test]
+    fn independent_ops_raise_mlp() {
+        let cfg = LaunchConfig::new(1, 32);
+        let traces: Vec<ThreadTrace> = (0..32)
+            .map(|_| {
+                let mut t = ThreadTrace::default();
+                for j in 0..8u64 {
+                    t.record(j * 4096, 16, AccessKind::Read);
+                }
+                t
+            })
+            .collect();
+        let s = aggregate("k", cfg, 32, &[traces], 1.0);
+        assert!((s.mlp() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_traces_are_safe() {
+        let cfg = LaunchConfig::new(1, 32);
+        let s = aggregate("k", cfg, 32, &[], 1.0);
+        assert_eq!(s.transactions, 0.0);
+        assert_eq!(s.mlp(), 1.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Occupancy calculator — the launch-configuration advisor CUDA exposes
+//! as `cudaOccupancyMaxPotentialBlockSize`, rebuilt on the same limits the
+//! cost model uses (warp slots, blocks-per-SM cap, shared memory).
+
+use crate::launch::LaunchConfig;
+use crate::spec::DeviceSpec;
+
+/// Kepler's resident-block cap per SM.
+const MAX_BLOCKS_PER_SM: u32 = 16;
+
+/// Occupancy of one launch configuration on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident warps per SM under all limits.
+    pub warps_per_sm: u32,
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Fraction of the SM's warp slots occupied (0..=1).
+    pub fraction: f64,
+    /// The limit that bound the configuration.
+    pub limited_by: Limit,
+}
+
+/// Which resource capped the occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limit {
+    /// Warp slots (64/SM on Kepler).
+    WarpSlots,
+    /// The 16-blocks-per-SM cap.
+    BlockCount,
+    /// Shared memory per SM.
+    SharedMemory,
+}
+
+/// Computes the occupancy of `cfg` on `spec`.
+pub fn occupancy(spec: &DeviceSpec, cfg: LaunchConfig) -> Occupancy {
+    let warps_per_block = cfg.block_dim.div_ceil(spec.warp_size);
+    let by_warps = spec.max_warps_per_sm / warps_per_block.max(1);
+    let by_blocks = MAX_BLOCKS_PER_SM;
+    let by_shared = if cfg.shared_mem_bytes > 0 {
+        (spec.shared_mem_per_sm / cfg.shared_mem_bytes as usize) as u32
+    } else {
+        u32::MAX
+    };
+    let blocks = by_warps.min(by_blocks).min(by_shared);
+    let limited_by = if blocks == by_shared && cfg.shared_mem_bytes > 0 {
+        Limit::SharedMemory
+    } else if blocks == by_warps {
+        Limit::WarpSlots
+    } else {
+        Limit::BlockCount
+    };
+    let warps = (blocks * warps_per_block).min(spec.max_warps_per_sm);
+    Occupancy {
+        warps_per_sm: warps,
+        blocks_per_sm: blocks,
+        fraction: warps as f64 / spec.max_warps_per_sm as f64,
+        limited_by,
+    }
+}
+
+/// Suggests the block size (from the usual power-of-two menu) that
+/// maximises occupancy for a kernel with the given per-block shared
+/// memory; ties break toward larger blocks (fewer launches).
+pub fn suggest_block_size(spec: &DeviceSpec, shared_mem_bytes: u32) -> u32 {
+    let mut best = (0.0f64, 64u32);
+    for &bd in &[64u32, 128, 192, 256, 512, 1024] {
+        if bd > spec.max_threads_per_block {
+            continue;
+        }
+        let cfg = LaunchConfig::new(1, bd).with_shared_mem(shared_mem_bytes);
+        let occ = occupancy(spec, cfg);
+        if occ.fraction >= best.0 {
+            best = (occ.fraction, bd);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_occupancy_at_256_threads() {
+        let spec = DeviceSpec::tesla_k20x();
+        let occ = occupancy(&spec, LaunchConfig::new(1024, 256));
+        assert_eq!(occ.warps_per_sm, 64, "8 blocks × 8 warps");
+        assert_eq!(occ.blocks_per_sm, 8);
+        assert!((occ.fraction - 1.0).abs() < 1e-12);
+        assert_eq!(occ.limited_by, Limit::WarpSlots);
+    }
+
+    #[test]
+    fn tiny_blocks_hit_the_block_cap() {
+        let spec = DeviceSpec::tesla_k20x();
+        // 32-thread blocks: 16 blocks × 1 warp = 16 warps, block-capped.
+        let occ = occupancy(&spec, LaunchConfig::new(1024, 32));
+        assert_eq!(occ.blocks_per_sm, 16);
+        assert_eq!(occ.warps_per_sm, 16);
+        assert_eq!(occ.limited_by, Limit::BlockCount);
+        assert!(occ.fraction < 0.3);
+    }
+
+    #[test]
+    fn shared_memory_throttles() {
+        let spec = DeviceSpec::tesla_k20x();
+        let cfg = LaunchConfig::new(1024, 256).with_shared_mem(32 * 1024);
+        let occ = occupancy(&spec, cfg);
+        assert_eq!(occ.blocks_per_sm, 2, "64 KB / 32 KB");
+        assert_eq!(occ.limited_by, Limit::SharedMemory);
+    }
+
+    #[test]
+    fn advisor_prefers_large_blocks_without_shared_mem() {
+        let spec = DeviceSpec::tesla_k20x();
+        let bd = suggest_block_size(&spec, 0);
+        let occ = occupancy(&spec, LaunchConfig::new(1, bd));
+        assert!((occ.fraction - 1.0).abs() < 1e-12);
+        assert!(bd >= 256, "large blocks preferred, got {bd}");
+    }
+
+    #[test]
+    fn advisor_adapts_to_shared_memory() {
+        let spec = DeviceSpec::tesla_k20x();
+        // Huge per-block shared memory: occupancy is shared-limited no
+        // matter the block size, so the advisor picks the largest block
+        // (most warps per block for the few blocks that fit).
+        let bd = suggest_block_size(&spec, 30 * 1024);
+        assert_eq!(bd, 1024);
+    }
+
+    #[test]
+    fn occupancy_matches_cost_model_resident_warps() {
+        use crate::cost::resident_warps;
+        use crate::metrics::KernelStats;
+        let spec = DeviceSpec::tesla_k20x();
+        let cfg = LaunchConfig::for_elements(1 << 20, 256);
+        let occ = occupancy(&spec, cfg);
+        let stats = KernelStats {
+            warps: cfg.total_warps(spec.warp_size),
+            block_dim: cfg.block_dim,
+            grid_dim: cfg.grid_dim,
+            ..Default::default()
+        };
+        let rw = resident_warps(&spec, &stats);
+        assert_eq!(
+            rw as u32,
+            occ.warps_per_sm * spec.sm_count,
+            "cost model and occupancy calculator must agree"
+        );
+    }
+}

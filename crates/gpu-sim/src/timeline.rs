@@ -1,0 +1,333 @@
+//! The stream timeline: turns a list of per-stream operations with modelled
+//! durations into a device schedule with overlap and resource sharing.
+//!
+//! Semantics (mirroring CUDA):
+//!
+//! * operations on one stream execute in enqueue order;
+//! * operations on different streams may overlap;
+//! * at most `max_concurrent_kernels` kernels run at once (GK110: 32);
+//! * concurrently running *device* operations share the device evenly —
+//!   two overlapped memory-bound kernels make no aggregate progress gain,
+//!   which keeps the async-layout experiment honest: its win must come
+//!   from hiding *latency/under-occupancy*, not from imaginary bandwidth;
+//! * PCIe transfers use the copy engines and overlap device work freely,
+//!   sharing only with other transfers.
+//!
+//! The schedule is computed by a deterministic event-driven simulation
+//! over "work remaining" quantities.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a stream. Stream 0 is the default stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamId(pub u32);
+
+/// Which engine an operation occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// SMs + DRAM: kernels.
+    Device,
+    /// Copy engine: host↔device transfers.
+    Pcie,
+}
+
+/// An operation enqueued on a stream.
+#[derive(Debug, Clone)]
+pub struct Op {
+    /// Monotonic id (enqueue order, used for FIFO arbitration).
+    pub id: usize,
+    /// Stream the op belongs to.
+    pub stream: StreamId,
+    /// Engine class.
+    pub engine: Engine,
+    /// Exclusive-use duration in seconds (from the cost model).
+    pub duration: f64,
+    /// Label for reports.
+    pub label: String,
+    /// Cross-stream dependencies (CUDA events): op ids that must complete
+    /// before this op may start.
+    pub wait_for: Vec<usize>,
+}
+
+impl Op {
+    /// Convenience constructor with no cross-stream dependencies.
+    pub fn new(id: usize, stream: StreamId, engine: Engine, duration: f64, label: String) -> Self {
+        Op {
+            id,
+            stream,
+            engine,
+            duration,
+            label,
+            wait_for: Vec::new(),
+        }
+    }
+}
+
+/// Scheduled times for one op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpSchedule {
+    /// Start time (seconds from timeline origin).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+/// Full schedule: per-op times plus the makespan.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Times indexed like the input ops.
+    pub ops: Vec<OpSchedule>,
+    /// Completion time of the last op.
+    pub makespan: f64,
+}
+
+/// Computes the schedule for `ops` given the device's kernel-concurrency
+/// cap. `ops` must be sorted by `id` (enqueue order) — they are, because
+/// the device appends as it launches.
+pub fn schedule(ops: &[Op], max_concurrent_kernels: u32) -> Schedule {
+    let n = ops.len();
+    let mut remaining: Vec<f64> = ops.iter().map(|o| o.duration.max(0.0)).collect();
+    let mut sched = vec![
+        OpSchedule {
+            start: f64::NAN,
+            end: f64::NAN,
+        };
+        n
+    ];
+    let mut done = vec![false; n];
+    let mut t = 0.0f64;
+    let mut n_done = 0;
+
+    while n_done < n {
+        // Head-of-line op per stream: the earliest unfinished op of each
+        // stream is eligible — provided its event dependencies are done.
+        // A head blocked on an event still blocks everything behind it
+        // (stream FIFO order).
+        let mut seen_stream: Vec<StreamId> = Vec::new();
+        let mut eligible: Vec<usize> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            if seen_stream.contains(&op.stream) {
+                continue;
+            }
+            seen_stream.push(op.stream);
+            if op.wait_for.iter().all(|&d| done.get(d).copied().unwrap_or(true)) {
+                eligible.push(i);
+            }
+        }
+        if eligible.is_empty() {
+            // All heads are event-blocked on ops that are themselves
+            // behind those heads — a deadlock the device API prevents;
+            // fail loudly rather than spin.
+            panic!("timeline deadlock: circular event dependencies");
+        }
+
+        // FIFO cap on concurrent kernels; the copy engine is strictly
+        // serial (one transfer at a time, in enqueue order), matching the
+        // single DMA engine per direction on real parts.
+        let mut active: Vec<usize> = Vec::new();
+        let mut kernels = 0u32;
+        let mut copy_engine_busy = false;
+        for &i in &eligible {
+            match ops[i].engine {
+                Engine::Device => {
+                    if kernels < max_concurrent_kernels {
+                        kernels += 1;
+                        active.push(i);
+                    }
+                }
+                Engine::Pcie => {
+                    if !copy_engine_busy {
+                        copy_engine_busy = true;
+                        active.push(i);
+                    }
+                }
+            }
+        }
+        debug_assert!(!active.is_empty(), "deadlock in timeline scheduling");
+
+        let device_share = active
+            .iter()
+            .filter(|&&i| ops[i].engine == Engine::Device)
+            .count()
+            .max(1) as f64;
+        // Copy engine is exclusive: at most one active transfer.
+        let pcie_share = 1.0;
+
+        // Progress rate of each active op and time to next completion.
+        let mut dt = f64::INFINITY;
+        for &i in &active {
+            if sched[i].start.is_nan() {
+                sched[i].start = t;
+            }
+            let share = match ops[i].engine {
+                Engine::Device => device_share,
+                Engine::Pcie => pcie_share,
+            };
+            let finish_in = remaining[i] * share;
+            if finish_in < dt {
+                dt = finish_in;
+            }
+        }
+        // Zero-duration ops complete instantly; dt may be 0, which is fine.
+        for &i in &active {
+            let share = match ops[i].engine {
+                Engine::Device => device_share,
+                Engine::Pcie => pcie_share,
+            };
+            remaining[i] -= dt / share;
+            if remaining[i] <= 1e-18 {
+                remaining[i] = 0.0;
+                done[i] = true;
+                n_done += 1;
+                sched[i].end = t + dt;
+            }
+        }
+        t += dt;
+    }
+
+    Schedule {
+        makespan: t,
+        ops: sched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(id: usize, stream: u32, engine: Engine, duration: f64) -> Op {
+        Op::new(id, StreamId(stream), engine, duration, format!("op{id}"))
+    }
+
+    #[test]
+    fn event_dependency_delays_cross_stream_op() {
+        // op1 on stream 1 waits for op0 on stream 0.
+        let mut o1 = op(1, 1, Engine::Device, 1.0);
+        o1.wait_for = vec![0];
+        let ops = vec![op(0, 0, Engine::Device, 2.0), o1];
+        let s = schedule(&ops, 32);
+        assert!((s.ops[1].start - 2.0).abs() < 1e-12, "waits for the event");
+        assert!((s.makespan - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn satisfied_event_changes_nothing() {
+        let mut o1 = op(1, 0, Engine::Device, 1.0);
+        o1.wait_for = vec![0]; // same stream: already ordered
+        let ops = vec![op(0, 0, Engine::Device, 1.0), o1];
+        let s = schedule(&ops, 32);
+        assert!((s.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_stream_serialises() {
+        let ops = vec![
+            op(0, 0, Engine::Device, 1.0),
+            op(1, 0, Engine::Device, 2.0),
+        ];
+        let s = schedule(&ops, 32);
+        assert!((s.makespan - 3.0).abs() < 1e-12);
+        assert!((s.ops[0].end - 1.0).abs() < 1e-12);
+        assert!((s.ops[1].start - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_memory_kernels_share_the_device() {
+        // Two 1-second kernels on different streams: each runs at half
+        // rate while both active → both finish at t=2. No free lunch.
+        let ops = vec![
+            op(0, 0, Engine::Device, 1.0),
+            op(1, 1, Engine::Device, 1.0),
+        ];
+        let s = schedule(&ops, 32);
+        assert!((s.makespan - 2.0).abs() < 1e-12);
+        assert!((s.ops[0].start).abs() < 1e-12);
+        assert!((s.ops[1].start).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_overlaps_kernel_for_free() {
+        let ops = vec![
+            op(0, 0, Engine::Device, 2.0),
+            op(1, 1, Engine::Pcie, 2.0),
+        ];
+        let s = schedule(&ops, 32);
+        assert!((s.makespan - 2.0).abs() < 1e-12, "full overlap expected");
+    }
+
+    #[test]
+    fn unequal_kernels_release_share_when_done() {
+        // 1 s and 3 s kernels: both at half rate until the short one
+        // finishes at t=2 (having done 1 s of work); the long one then has
+        // 2 s left at full rate → ends at 4.
+        let ops = vec![
+            op(0, 0, Engine::Device, 1.0),
+            op(1, 1, Engine::Device, 3.0),
+        ];
+        let s = schedule(&ops, 32);
+        assert!((s.ops[0].end - 2.0).abs() < 1e-12);
+        assert!((s.ops[1].end - 4.0).abs() < 1e-12);
+        assert!((s.makespan - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrency_cap_queues_kernels() {
+        // Cap of 1: three 1-second kernels on three streams serialise.
+        let ops = vec![
+            op(0, 0, Engine::Device, 1.0),
+            op(1, 1, Engine::Device, 1.0),
+            op(2, 2, Engine::Device, 1.0),
+        ];
+        let s = schedule(&ops, 1);
+        assert!((s.makespan - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_order_respected_across_engines() {
+        // stream 0: transfer then kernel — kernel must wait for transfer.
+        let ops = vec![
+            op(0, 0, Engine::Pcie, 1.0),
+            op(1, 0, Engine::Device, 1.0),
+        ];
+        let s = schedule(&ops, 32);
+        assert!((s.ops[1].start - 1.0).abs() < 1e-12);
+        assert!((s.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_chunks_overlap_copy_and_compute() {
+        // Classic two-stage pipeline: per chunk, transfer (0.5 s) then
+        // kernel (0.5 s), chunks on alternating streams. With overlap the
+        // makespan approaches 0.5·(chunks+1) rather than 1.0·chunks.
+        let mut ops = Vec::new();
+        let chunks = 4;
+        for c in 0..chunks {
+            ops.push(op(2 * c, c as u32, Engine::Pcie, 0.5));
+            ops.push(op(2 * c + 1, c as u32, Engine::Device, 0.5));
+        }
+        let s = schedule(&ops, 32);
+        assert!(
+            s.makespan < 0.5 * chunks as f64 * 2.0 - 0.4,
+            "pipelining should beat serial: {}",
+            s.makespan
+        );
+    }
+
+    #[test]
+    fn zero_duration_ops_complete() {
+        let ops = vec![op(0, 0, Engine::Device, 0.0), op(1, 0, Engine::Device, 1.0)];
+        let s = schedule(&ops, 32);
+        assert!((s.makespan - 1.0).abs() < 1e-12);
+        assert_eq!(s.ops[0].end, 0.0);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = schedule(&[], 32);
+        assert_eq!(s.makespan, 0.0);
+        assert!(s.ops.is_empty());
+    }
+}

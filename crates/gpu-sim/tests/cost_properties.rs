@@ -1,0 +1,137 @@
+//! Property tests on the cost model and the stream scheduler: the
+//! monotonicity and conservation laws any sane performance model must
+//! satisfy.
+
+use gpu_sim::cost::{kernel_cost, transfer_time};
+use gpu_sim::timeline::{schedule, Engine, Op, StreamId};
+use gpu_sim::{DeviceSpec, KernelStats, LaunchConfig};
+use proptest::prelude::*;
+
+fn stats(threads: u64, bytes: f64, flops: f64, chain: f64) -> KernelStats {
+    let cfg = LaunchConfig::for_elements(threads.max(1) as usize, 256);
+    KernelStats {
+        name: "p".into(),
+        threads: cfg.total_threads(),
+        warps: cfg.total_warps(32),
+        sampled_warps: 1,
+        flops,
+        dram_bytes: bytes,
+        transactions: bytes / 64.0,
+        mem_ops: bytes / 16.0,
+        chain_len: chain,
+        ops_per_thread: if threads > 0 {
+            (bytes / 16.0) / threads as f64
+        } else {
+            0.0
+        },
+        atomic_ops: 0.0,
+        atomic_max_conflict: 0.0,
+        block_dim: 256,
+        grid_dim: cfg.grid_dim,
+        shared_mem_bytes: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// More traffic never makes a kernel faster.
+    #[test]
+    fn cost_monotone_in_bytes(
+        threads in 1u64..1_000_000,
+        bytes in 1.0e3..1.0e9f64,
+        extra in 1.0..2.0e9f64,
+    ) {
+        let spec = DeviceSpec::tesla_k20x();
+        let a = kernel_cost(&spec, &stats(threads, bytes, 0.0, 0.0));
+        let b = kernel_cost(&spec, &stats(threads, bytes + extra, 0.0, 0.0));
+        prop_assert!(b.total >= a.total - 1e-15);
+    }
+
+    /// More flops never makes a kernel faster.
+    #[test]
+    fn cost_monotone_in_flops(
+        flops in 1.0e3..1.0e12f64,
+        extra in 1.0..1.0e12f64,
+    ) {
+        let spec = DeviceSpec::tesla_k20x();
+        let a = kernel_cost(&spec, &stats(1 << 20, 1e6, flops, 0.0));
+        let b = kernel_cost(&spec, &stats(1 << 20, 1e6, flops + extra, 0.0));
+        prop_assert!(b.total >= a.total - 1e-15);
+    }
+
+    /// Serial dependence (longer chains) never speeds a kernel up.
+    #[test]
+    fn cost_monotone_in_chain(
+        threads in 1u64..100_000,
+        bytes in 1.0e4..1.0e8f64,
+        chain in 0.0..64.0f64,
+    ) {
+        let spec = DeviceSpec::tesla_k20x();
+        let a = kernel_cost(&spec, &stats(threads, bytes, 0.0, chain));
+        let b = kernel_cost(&spec, &stats(threads, bytes, 0.0, chain + 1.0));
+        prop_assert!(b.total >= a.total - 1e-15);
+    }
+
+    /// Transfers are monotone and affine in size.
+    #[test]
+    fn transfer_monotone(a in 0usize..1_000_000_000, b in 0usize..1_000_000_000) {
+        let spec = DeviceSpec::tesla_k20x();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(transfer_time(&spec, lo) <= transfer_time(&spec, hi));
+    }
+
+    /// Schedule conservation: the makespan is at least the longest op and
+    /// at most the serial sum, and per-op spans are consistent.
+    #[test]
+    fn schedule_bounds(
+        durs in prop::collection::vec(0.0f64..10.0, 1..20),
+        streams in prop::collection::vec(0u32..4, 1..20),
+    ) {
+        let n = durs.len().min(streams.len());
+        let ops: Vec<Op> = (0..n)
+            .map(|i| Op::new(
+                i,
+                StreamId(streams[i]),
+                if i % 3 == 0 { Engine::Pcie } else { Engine::Device },
+                durs[i],
+                format!("op{i}"),
+            ))
+            .collect();
+        let s = schedule(&ops, 32);
+        let longest = durs[..n].iter().cloned().fold(0.0, f64::max);
+        let total: f64 = durs[..n].iter().sum();
+        prop_assert!(s.makespan >= longest - 1e-9);
+        prop_assert!(s.makespan <= total + 1e-9);
+        for (i, os) in s.ops.iter().enumerate() {
+            prop_assert!(os.end >= os.start - 1e-12);
+            prop_assert!(os.end - os.start >= ops[i].duration - 1e-9,
+                "an op cannot finish faster than its exclusive duration");
+        }
+        // Per-stream ordering respected.
+        for st in 0..4u32 {
+            let mut last_end = 0.0f64;
+            for (i, os) in s.ops.iter().enumerate() {
+                if ops[i].stream == StreamId(st) {
+                    prop_assert!(os.start >= last_end - 1e-9);
+                    last_end = os.end;
+                }
+            }
+        }
+    }
+
+    /// Capping concurrency never shortens the makespan.
+    #[test]
+    fn tighter_cap_never_faster(
+        durs in prop::collection::vec(0.1f64..5.0, 2..12),
+    ) {
+        let ops: Vec<Op> = durs
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Op::new(i, StreamId(i as u32), Engine::Device, d, String::new()))
+            .collect();
+        let wide = schedule(&ops, 32).makespan;
+        let narrow = schedule(&ops, 1).makespan;
+        prop_assert!(narrow >= wide - 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+//! Median utilities for the magnitude-reconstruction step (sFFT Step 6
+//! estimates each coefficient as the per-loop median, "taken in real and
+//! imaginary components separately").
+
+use fft::Cplx;
+
+/// Median of a slice using `select_nth_unstable` (average O(n)).
+/// For even lengths this is the *lower* median, matching the reference
+/// implementation's `(loops − 1) / 2` index.
+pub fn median_f64(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let mut buf = values.to_vec();
+    let mid = (buf.len() - 1) / 2;
+    let (_, m, _) = buf.select_nth_unstable_by(mid, |a, b| {
+        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    *m
+}
+
+/// Component-wise complex median: `median(re) + i·median(im)`.
+pub fn median_cplx(values: &[Cplx]) -> Cplx {
+    assert!(!values.is_empty(), "median of empty slice");
+    let res: Vec<f64> = values.iter().map(|c| c.re).collect();
+    let ims: Vec<f64> = values.iter().map(|c| c.im).collect();
+    Cplx::new(median_f64(&res), median_f64(&ims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_length_median() {
+        assert_eq!(median_f64(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_f64(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn even_length_takes_lower_median() {
+        assert_eq!(median_f64(&[1.0, 2.0, 3.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn robust_to_outliers() {
+        let v = [1.0, 1.1, 0.9, 1.05, 1e9, -1e9, 0.95];
+        let m = median_f64(&v);
+        assert!((0.9..=1.1).contains(&m));
+    }
+
+    #[test]
+    fn complex_median_componentwise() {
+        let v = [
+            Cplx::new(1.0, 10.0),
+            Cplx::new(2.0, 30.0),
+            Cplx::new(3.0, 20.0),
+        ];
+        assert_eq!(median_cplx(&v), Cplx::new(2.0, 20.0));
+    }
+
+    #[test]
+    fn complex_median_decouples_components() {
+        // The median of re and im come from different elements.
+        let v = [
+            Cplx::new(0.0, 100.0),
+            Cplx::new(50.0, 0.0),
+            Cplx::new(100.0, 50.0),
+        ];
+        assert_eq!(median_cplx(&v), Cplx::new(50.0, 50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_median_panics() {
+        median_f64(&[]);
+    }
+}

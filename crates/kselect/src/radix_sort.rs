@@ -1,0 +1,165 @@
+//! LSD radix sort for `(f64 key, u32 payload)` pairs — the algorithm
+//! underneath Thrust's `sort_by_key`, built from scratch so the
+//! sort&select baseline rests on the same algorithmic footing as the
+//! library the paper used.
+//!
+//! Floating-point keys are mapped to order-preserving `u64` bit patterns
+//! (flip the sign bit for positives, flip everything for negatives), then
+//! sorted in 8 passes of 8-bit counting sort.
+
+/// Order-preserving map from `f64` to `u64`: `a < b ⇔ map(a) < map(b)`
+/// for all non-NaN values (NaNs sort above everything).
+#[inline]
+pub fn f64_to_ordered_bits(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits & (1 << 63) == 0 {
+        bits | (1 << 63) // positive: set sign bit
+    } else {
+        !bits // negative: flip all
+    }
+}
+
+/// Sorts `(key, payload)` pairs by key, ascending, using 8 LSD passes.
+/// Stable: equal keys keep their input order.
+pub fn radix_sort_by_key(pairs: &mut [(f64, u32)]) {
+    let n = pairs.len();
+    if n <= 1 {
+        return;
+    }
+    let mut src: Vec<(u64, u32)> = pairs
+        .iter()
+        .map(|&(k, v)| (f64_to_ordered_bits(k), v))
+        .collect();
+    let mut dst: Vec<(u64, u32)> = vec![(0, 0); n];
+
+    for pass in 0..8 {
+        let shift = pass * 8;
+        let mut hist = [0usize; 256];
+        for &(k, _) in &src {
+            hist[((k >> shift) & 0xff) as usize] += 1;
+        }
+        // Exclusive prefix sum.
+        let mut sum = 0usize;
+        for h in hist.iter_mut() {
+            let c = *h;
+            *h = sum;
+            sum += c;
+        }
+        for &(k, v) in &src {
+            let d = ((k >> shift) & 0xff) as usize;
+            dst[hist[d]] = (k, v);
+            hist[d] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+
+    for (slot, &(k, v)) in pairs.iter_mut().zip(&src) {
+        *slot = (bits_to_f64(k), v);
+    }
+}
+
+#[inline]
+fn bits_to_f64(m: u64) -> f64 {
+    if m & (1 << 63) != 0 {
+        f64::from_bits(m & !(1 << 63))
+    } else {
+        f64::from_bits(!m)
+    }
+}
+
+/// Top-`k` indices by value, descending, via a full radix sort — the
+/// Thrust-equivalent `sort_select` with our own sort underneath.
+pub fn radix_sort_select(values: &[f64], k: usize) -> Vec<usize> {
+    let k = k.min(values.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut pairs: Vec<(f64, u32)> = values
+        .iter()
+        .copied()
+        .zip(0u32..)
+        .collect();
+    radix_sort_by_key(&mut pairs);
+    pairs
+        .iter()
+        .rev()
+        .take(k)
+        .map(|&(_, i)| i as usize)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_bits_preserve_order() {
+        let vals = [
+            -1e300, -2.5, -1.0, -1e-300, -0.0, 0.0, 1e-300, 0.5, 1.0, 2.5, 1e300,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                f64_to_ordered_bits(w[0]) <= f64_to_ordered_bits(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for &v in &[-3.75, -0.0, 0.0, 1.5, 1e18, -1e-18] {
+            let back = bits_to_f64(f64_to_ordered_bits(v));
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn sorts_ascending_and_stable() {
+        let mut pairs = vec![(3.0, 0u32), (1.0, 1), (3.0, 2), (-2.0, 3), (0.5, 4)];
+        radix_sort_by_key(&mut pairs);
+        let keys: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        assert_eq!(keys, vec![-2.0, 0.5, 1.0, 3.0, 3.0]);
+        // Stability: the two 3.0 keys keep payload order 0 then 2.
+        assert_eq!(pairs[3].1, 0);
+        assert_eq!(pairs[4].1, 2);
+    }
+
+    #[test]
+    fn matches_std_sort_on_large_random() {
+        let mut s = 12345u64;
+        let mut pairs: Vec<(f64, u32)> = (0..10_000u32)
+            .map(|i| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = ((s >> 12) as f64 / (1u64 << 52) as f64 - 0.5) * 1e6;
+                (v, i)
+            })
+            .collect();
+        let mut expected = pairs.clone();
+        expected.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        radix_sort_by_key(&mut pairs);
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn radix_select_matches_sort_select() {
+        let v: Vec<f64> = (0..5000)
+            .map(|i| ((i * 48271) % 65537) as f64)
+            .collect();
+        let a = radix_sort_select(&v, 50);
+        let b = crate::sort_select::sort_select_seq(&v, 50);
+        assert_eq!(a, b, "distinct keys → identical ordering");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut e: Vec<(f64, u32)> = vec![];
+        radix_sort_by_key(&mut e);
+        assert!(e.is_empty());
+        let mut one = vec![(5.0, 9u32)];
+        radix_sort_by_key(&mut one);
+        assert_eq!(one, vec![(5.0, 9)]);
+        assert!(radix_sort_select(&[], 3).is_empty());
+    }
+}

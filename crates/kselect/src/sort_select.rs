@@ -1,0 +1,81 @@
+//! Sort & select — the paper's *baseline* cutoff (Algorithm 3).
+//!
+//! "We first sort the B buckets in a decreasing order and store the
+//! locations of values of the top k largest elements." The reference uses
+//! NVIDIA Thrust (`ReverseSortByValue` + `Select`); here the equivalent is
+//! a rayon parallel sort over `(value, index)` pairs. Cost: `O(B log B)`
+//! work for `k` useful outputs — the inefficiency the fast-selection
+//! optimisation (Algorithm 6, [`crate::threshold`]) removes.
+
+use rayon::prelude::*;
+
+/// Returns the indices of the `k` largest values, in decreasing value
+/// order. Ties break toward the lower index (deterministically).
+pub fn sort_select(values: &[f64], k: usize) -> Vec<usize> {
+    let k = k.min(values.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut pairs: Vec<(f64, usize)> = values.iter().copied().zip(0..).collect();
+    pairs.par_sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    pairs.truncate(k);
+    pairs.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Sequential variant, for small inputs and as a determinism oracle.
+pub fn sort_select_seq(values: &[f64], k: usize) -> Vec<usize> {
+    let k = k.min(values.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut pairs: Vec<(f64, usize)> = values.iter().copied().zip(0..).collect();
+    pairs.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    pairs.truncate(k);
+    pairs.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_largest_in_order() {
+        let v = [3.0, 9.0, 1.0, 7.0, 5.0];
+        assert_eq!(sort_select(&v, 3), vec![1, 3, 4]);
+        assert_eq!(sort_select_seq(&v, 3), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn k_zero_and_k_exceeding_len() {
+        let v = [1.0, 2.0];
+        assert!(sort_select(&v, 0).is_empty());
+        assert_eq!(sort_select(&v, 10), vec![1, 0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let v: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 2654435761u64 as usize) % 99991) as f64)
+            .collect();
+        assert_eq!(sort_select(&v, 100), sort_select_seq(&v, 100));
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let v = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(sort_select(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(sort_select(&[], 5).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests: every selector must agree with the sort oracle on the
+//! *set* of selected elements (up to documented tie behaviour).
+
+use kselect::{
+    bucket_select, kth_largest, noise_floor_threshold, quickselect_top_k, sort_select,
+    sort_select_seq, threshold_select,
+};
+use proptest::prelude::*;
+
+fn values_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0..1e6f64, 1..500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sort_select_parallel_equals_sequential(v in values_strategy(), k in 0usize..50) {
+        prop_assert_eq!(sort_select(&v, k), sort_select_seq(&v, k));
+    }
+
+    #[test]
+    fn quickselect_superset_of_oracle(v in values_strategy(), k in 1usize..50) {
+        let k = k.min(v.len());
+        let oracle = sort_select_seq(&v, k);
+        let qs = quickselect_top_k(&v, k);
+        for i in &oracle {
+            prop_assert!(qs.contains(i), "quickselect missing oracle idx {}", i);
+        }
+        // Everything selected is >= the k-th largest value.
+        let kth = kth_largest(&v, k);
+        for &i in &qs {
+            prop_assert!(v[i] >= kth);
+        }
+    }
+
+    #[test]
+    fn bucket_select_superset_of_oracle(v in values_strategy(), k in 1usize..50) {
+        let k = k.min(v.len());
+        let oracle = sort_select_seq(&v, k);
+        let bs = bucket_select(&v, k);
+        for i in &oracle {
+            prop_assert!(bs.indices.contains(i), "bucket_select missing idx {}", i);
+        }
+    }
+
+    #[test]
+    fn kth_largest_matches_sorted(v in values_strategy(), k in 1usize..50) {
+        let k = k.min(v.len());
+        let mut sorted = v.clone();
+        sorted.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+        prop_assert_eq!(kth_largest(&v, k), sorted[k - 1]);
+    }
+
+    #[test]
+    fn threshold_select_is_exact_filter(v in values_strategy(), t in 0.0..1e6f64) {
+        let sel = threshold_select(&v, t);
+        let expected: Vec<usize> = v
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| if x >= t { Some(i) } else { None })
+            .collect();
+        prop_assert_eq!(sel, expected);
+    }
+
+    #[test]
+    fn noise_floor_is_within_data_range(v in values_strategy()) {
+        let t = noise_floor_threshold(&v, 64, 1.0);
+        let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(t >= lo && t <= hi);
+    }
+}

@@ -1,0 +1,218 @@
+//! Random spectrum permutations (sFFT Step 1).
+//!
+//! A permutation is a pair `(σ, τ)` with `gcd(σ, n) = 1`: the algorithm
+//! samples the time-domain signal at `x[(τ + t·σ⁻¹) mod n]`, which scales
+//! the spectrum by σ — original frequency `f` appears at permuted
+//! frequency `σ⁻¹·f` with an extra phase `e^{+2πi f τ / n}` (Definition 1
+//! in the paper, with our FFT sign convention; the derivation is spelled
+//! out in DESIGN.md).
+//!
+//! For power-of-two `n`, "invertible mod n" simply means *odd*.
+
+use rand::Rng;
+
+/// Greatest common divisor (Euclid).
+pub fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Modular inverse of `a` mod `n` via the extended Euclidean algorithm.
+/// Panics when `gcd(a, n) != 1`.
+pub fn mod_inverse(a: usize, n: usize) -> usize {
+    assert!(n > 1, "modulus must exceed 1");
+    let (mut old_r, mut r) = (a as i128, n as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        let tr = old_r - q * r;
+        old_r = r;
+        r = tr;
+        let ts = old_s - q * s;
+        old_s = s;
+        s = ts;
+    }
+    assert!(old_r == 1, "{a} is not invertible mod {n}");
+    old_s.rem_euclid(n as i128) as usize
+}
+
+/// A spectrum permutation `(σ, τ)` for signals of length `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Permutation {
+    /// σ — the frequency scaling factor ("a" in the paper's kernels).
+    pub a: usize,
+    /// σ⁻¹ mod n — the time-domain sampling stride ("ai").
+    pub ai: usize,
+    /// τ — the time-domain offset.
+    pub tau: usize,
+    /// Signal length.
+    pub n: usize,
+}
+
+impl Permutation {
+    /// Builds a permutation from explicit `σ` and `τ`.
+    pub fn new(a: usize, tau: usize, n: usize) -> Self {
+        assert!(n > 1, "n must exceed 1");
+        assert!(a < n && tau < n, "parameters must be reduced mod n");
+        assert_eq!(gcd(a, n), 1, "σ={a} must be invertible mod n={n}");
+        Permutation {
+            a,
+            ai: mod_inverse(a, n),
+            tau,
+            n,
+        }
+    }
+
+    /// Samples a random permutation (σ odd when n is a power of two,
+    /// otherwise rejection-sampled for invertibility; τ uniform).
+    pub fn random<R: Rng>(rng: &mut R, n: usize, random_tau: bool) -> Self {
+        let a = loop {
+            let cand = rng.gen_range(1..n);
+            if gcd(cand, n) == 1 {
+                break cand;
+            }
+        };
+        let tau = if random_tau { rng.gen_range(0..n) } else { 0 };
+        Permutation::new(a, tau, n)
+    }
+
+    /// Time-domain sample index used at loop position `t`:
+    /// `(τ + t·σ⁻¹) mod n`.
+    #[inline]
+    pub fn source_index(&self, t: i64) -> usize {
+        let n = self.n as i64;
+        (self.tau as i64 + (t.rem_euclid(n)) * self.ai as i64).rem_euclid(n) as usize
+    }
+
+    /// The permuted frequency where original frequency `f` lands:
+    /// `σ⁻¹·f mod n`.
+    #[inline]
+    pub fn permuted_freq(&self, f: usize) -> usize {
+        mul_mod(self.ai, f, self.n)
+    }
+
+    /// Inverse map: original frequency for permuted frequency `g`:
+    /// `σ·g mod n`.
+    #[inline]
+    pub fn original_freq(&self, g: usize) -> usize {
+        mul_mod(self.a, g, self.n)
+    }
+}
+
+/// `(a * b) mod n` without overflow for `n ≤ 2^63`.
+#[inline]
+pub fn mul_mod(a: usize, b: usize, n: usize) -> usize {
+    ((a as u128 * b as u128) % n as u128) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse() {
+        for n in [16usize, 64, 1024, 4096] {
+            for a in (1..n.min(200)).step_by(2) {
+                let ai = mod_inverse(a, n);
+                assert_eq!(mul_mod(a, ai, n), 1, "a={a} n={n}");
+            }
+        }
+        assert_eq!(mod_inverse(3, 7), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not invertible")]
+    fn even_not_invertible_mod_pow2() {
+        mod_inverse(4, 16);
+    }
+
+    #[test]
+    fn permutation_roundtrips_frequencies() {
+        let p = Permutation::new(5, 3, 64);
+        for f in 0..64 {
+            assert_eq!(p.original_freq(p.permuted_freq(f)), f);
+            assert_eq!(p.permuted_freq(p.original_freq(f)), f);
+        }
+    }
+
+    #[test]
+    fn permuted_freq_is_bijection() {
+        let p = Permutation::new(13, 0, 256);
+        let mut seen = vec![false; 256];
+        for f in 0..256 {
+            let g = p.permuted_freq(f);
+            assert!(!seen[g], "collision at {g}");
+            seen[g] = true;
+        }
+    }
+
+    #[test]
+    fn source_index_handles_negative_t() {
+        let p = Permutation::new(3, 7, 32);
+        // t = -1 ≡ 31: index = (7 + 31·ai) mod 32
+        let expect = (7 + 31 * p.ai) % 32;
+        assert_eq!(p.source_index(-1), expect);
+        assert_eq!(p.source_index(0), 7);
+    }
+
+    #[test]
+    fn random_permutations_are_valid_and_vary() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sigmas = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let p = Permutation::random(&mut rng, 1 << 12, true);
+            assert_eq!(gcd(p.a, p.n), 1);
+            assert_eq!(mul_mod(p.a, p.ai, p.n), 1);
+            sigmas.insert(p.a);
+        }
+        assert!(sigmas.len() > 30, "σ values should vary");
+    }
+
+    #[test]
+    fn tau_zero_when_disabled() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(Permutation::random(&mut rng, 256, false).tau, 0);
+        }
+    }
+
+    #[test]
+    fn spectrum_permutation_identity() {
+        // The load-bearing property: permuting time by (τ, σ⁻¹) moves
+        // frequency f to σ⁻¹·f with phase e^{+2πi f τ / n}.
+        use fft::cplx::Cplx;
+        use fft::dft::dft_coefficient;
+        let n = 128;
+        let f0 = 37;
+        let x: Vec<Cplx> = (0..n)
+            .map(|t| Cplx::cis(std::f64::consts::TAU * (f0 * t % n) as f64 / n as f64))
+            .collect();
+        let p = Permutation::new(29, 11, n);
+        let permuted: Vec<Cplx> = (0..n).map(|t| x[p.source_index(t as i64)]).collect();
+        let g = p.permuted_freq(f0);
+        let got = dft_coefficient(&permuted, g);
+        let expected = Cplx::real(n as f64)
+            * Cplx::cis(std::f64::consts::TAU * (f0 * p.tau % n) as f64 / n as f64);
+        assert!(
+            got.dist(expected) < 1e-8 * n as f64,
+            "{got:?} vs {expected:?}"
+        );
+        // All other permuted frequencies are ~zero.
+        let other = (g + 1) % n;
+        assert!(dft_coefficient(&permuted, other).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-step wall-clock profiling of the sequential sFFT — the
+//! instrumentation behind the paper's Figure 2 ("time distribution for the
+//! major steps in sFFT").
+
+use fft::cplx::Cplx;
+use fft::Plan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use signal::Recovered;
+use std::time::Instant;
+
+use crate::estimate::estimate;
+use crate::inner::{cutoff, locate, perm_filter, subsample_fft, LoopData};
+use crate::params::SfftParams;
+use crate::perm::Permutation;
+
+/// Accumulated wall-clock seconds per sFFT step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepTimings {
+    /// Steps 1-2: permutation + filtering + binning.
+    pub perm_filter: f64,
+    /// Step 3: B-dimensional FFTs.
+    pub subsampled_fft: f64,
+    /// Step 4: cutoff (top-k bucket selection).
+    pub cutoff: f64,
+    /// Step 5: reverse-hash location + voting.
+    pub locate: f64,
+    /// Step 6: magnitude reconstruction.
+    pub estimate: f64,
+    /// Whole-pipeline time (≥ the sum; includes bookkeeping).
+    pub total: f64,
+}
+
+impl StepTimings {
+    /// Sum of the per-step times.
+    pub fn steps_sum(&self) -> f64 {
+        self.perm_filter + self.subsampled_fft + self.cutoff + self.locate + self.estimate
+    }
+
+    /// Per-step shares of the step sum, in Figure-2 order.
+    pub fn shares(&self) -> [f64; 5] {
+        let s = self.steps_sum().max(f64::MIN_POSITIVE);
+        [
+            self.perm_filter / s,
+            self.subsampled_fft / s,
+            self.cutoff / s,
+            self.locate / s,
+            self.estimate / s,
+        ]
+    }
+
+    /// Step labels matching [`StepTimings::shares`].
+    pub const LABELS: [&'static str; 5] = [
+        "perm+filter",
+        "subsampled FFT",
+        "cutoff",
+        "locate",
+        "estimate",
+    ];
+}
+
+/// Runs the sequential sFFT, timing each step. Produces the same result
+/// as [`crate::serial::sfft`] for the same seed.
+pub fn sfft_profiled(params: &SfftParams, time: &[Cplx], seed: u64) -> (Recovered, StepTimings) {
+    let n = params.n;
+    assert_eq!(time.len(), n, "signal length must match params.n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t_start = Instant::now();
+
+    let plan_loc = Plan::new(params.b_loc);
+    let plan_est = Plan::new(params.b_est);
+
+    let mut timings = StepTimings::default();
+    let mut score = vec![0u8; n];
+    let mut hits: Vec<usize> = Vec::new();
+    let mut loops: Vec<LoopData> = Vec::with_capacity(params.loops_total());
+
+    for r in 0..params.loops_total() {
+        let is_loc = r < params.loops_loc;
+        let (b, filter, plan) = if is_loc {
+            (params.b_loc, &params.filter_loc, &plan_loc)
+        } else {
+            (params.b_est, &params.filter_est, &plan_est)
+        };
+        let perm = Permutation::random(&mut rng, n, params.random_tau);
+
+        let t0 = Instant::now();
+        let mut buckets = perm_filter(time, filter, b, &perm);
+        timings.perm_filter += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        subsample_fft(&mut buckets, plan);
+        timings.subsampled_fft += t1.elapsed().as_secs_f64();
+
+        if is_loc {
+            let t2 = Instant::now();
+            let selected = cutoff(&buckets, params.num_candidates);
+            timings.cutoff += t2.elapsed().as_secs_f64();
+
+            let t3 = Instant::now();
+            locate(
+                &selected,
+                &perm,
+                b,
+                params.loops_thresh,
+                &mut score,
+                &mut hits,
+            );
+            timings.locate += t3.elapsed().as_secs_f64();
+        }
+        loops.push(LoopData {
+            perm,
+            buckets,
+            is_loc,
+        });
+    }
+
+    let t4 = Instant::now();
+    let mut rec = estimate(&hits, &loops, params);
+    timings.estimate += t4.elapsed().as_secs_f64();
+    rec.sort_unstable_by_key(|&(f, _)| f);
+
+    timings.total = t_start.elapsed().as_secs_f64();
+    (rec, timings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::sfft;
+    use signal::{MagnitudeModel, SparseSignal};
+
+    #[test]
+    fn profiled_run_matches_plain_run() {
+        let n = 1 << 12;
+        let params = SfftParams::tuned(n, 8);
+        let s = SparseSignal::generate(n, 8, MagnitudeModel::Unit, 2);
+        let plain = sfft(&params, &s.time, 42);
+        let (profiled, t) = sfft_profiled(&params, &s.time, 42);
+        assert_eq!(plain, profiled);
+        assert!(t.total > 0.0);
+        assert!(t.steps_sum() <= t.total * 1.5);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let n = 1 << 12;
+        let params = SfftParams::tuned(n, 8);
+        let s = SparseSignal::generate(n, 8, MagnitudeModel::Unit, 2);
+        let (_, t) = sfft_profiled(&params, &s.time, 1);
+        let sum: f64 = t.shares().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(StepTimings::LABELS.len(), t.shares().len());
+    }
+
+    #[test]
+    fn perm_filter_dominates_at_larger_n() {
+        // Figure 2(a): permutation+filter is the most time-consuming step
+        // as n grows with fixed k.
+        let n = 1 << 16;
+        let params = SfftParams::tuned(n, 64);
+        let s = SparseSignal::generate(n, 64, MagnitudeModel::Unit, 5);
+        // Wall-clock shares are noisy on a loaded host; accept the best
+        // of three runs.
+        let mut best: Option<[f64; 5]> = None;
+        for attempt in 0..3 {
+            let (_, t) = sfft_profiled(&params, &s.time, 3);
+            let shares = t.shares();
+            let max = shares.iter().cloned().fold(0.0, f64::max);
+            if shares[0] >= max * 0.8 {
+                return;
+            }
+            best = Some(shares);
+            let _ = attempt;
+        }
+        panic!("perm+filter should be (near-)dominant: {best:?}");
+    }
+}

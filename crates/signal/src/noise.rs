@@ -1,0 +1,102 @@
+//! Additive white Gaussian noise at a prescribed SNR — used to exercise
+//! the sFFT's robustness ("background noises add to the signal spectra")
+//! and the voting threshold that filters spurious locations.
+
+use fft::Cplx;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Adds complex AWGN to `time` so the resulting signal-to-noise ratio is
+/// `snr_db` (relative to the current mean power of `time`). Returns the
+/// per-component noise standard deviation used.
+pub fn add_awgn(time: &mut [Cplx], snr_db: f64, seed: u64) -> f64 {
+    if time.is_empty() {
+        return 0.0;
+    }
+    let power: f64 = time.iter().map(|c| c.norm_sqr()).sum::<f64>() / time.len() as f64;
+    let noise_power = power / 10f64.powf(snr_db / 10.0);
+    // Complex noise: each component gets half the power.
+    let sigma = (noise_power / 2.0).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for c in time.iter_mut() {
+        c.re += gaussian(&mut rng) * sigma;
+        c.im += gaussian(&mut rng) * sigma;
+    }
+    sigma
+}
+
+/// Standard normal via Box-Muller (keeps us off rand_distr).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Measures the empirical SNR (dB) of `noisy` against the clean reference.
+pub fn measure_snr_db(clean: &[Cplx], noisy: &[Cplx]) -> f64 {
+    assert_eq!(clean.len(), noisy.len());
+    let sig: f64 = clean.iter().map(|c| c.norm_sqr()).sum();
+    let err: f64 = clean
+        .iter()
+        .zip(noisy)
+        .map(|(a, b)| (*a - *b).norm_sqr())
+        .sum();
+    10.0 * (sig / err).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize) -> Vec<Cplx> {
+        (0..n)
+            .map(|t| Cplx::cis(std::f64::consts::TAU * 3.0 * t as f64 / n as f64))
+            .collect()
+    }
+
+    #[test]
+    fn snr_is_close_to_requested() {
+        for &snr in &[0.0, 10.0, 30.0] {
+            let clean = tone(1 << 14);
+            let mut noisy = clean.clone();
+            add_awgn(&mut noisy, snr, 77);
+            let measured = measure_snr_db(&clean, &noisy);
+            assert!(
+                (measured - snr).abs() < 0.5,
+                "requested {snr} dB, measured {measured} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = tone(256);
+        let mut b = tone(256);
+        add_awgn(&mut a, 20.0, 5);
+        add_awgn(&mut b, 20.0, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = tone(256);
+        let mut b = tone(256);
+        add_awgn(&mut a, 20.0, 5);
+        add_awgn(&mut b, 20.0, 6);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn returns_sigma_consistent_with_power() {
+        let mut x = tone(1 << 12);
+        let sigma = add_awgn(&mut x, 20.0, 1);
+        // tone power = 1 → noise power = 0.01 → sigma = sqrt(0.005)
+        assert!((sigma - (0.005f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_signal_is_noop() {
+        let mut v: Vec<Cplx> = vec![];
+        assert_eq!(add_awgn(&mut v, 10.0, 1), 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Serving-layer throughput: wall-clock cost of `serve_batch` per worker
+//! count, plus the deterministic simulated-timeline numbers printed once
+//! per configuration.
+//!
+//! The printed block also checks the serving layer's two load-bearing
+//! properties on a real batch: the plan cache gets hits (>0) and the
+//! merged timeline shows at least two concurrently occupied streams.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cusfft::{ServeConfig, ServeEngine};
+use gpu_sim::DeviceSpec;
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+
+    let requests = bench::serve_requests(14, 16, 12, 77);
+
+    for workers in [1usize, 2, 4] {
+        let engine = ServeEngine::new(
+            DeviceSpec::tesla_k20x(),
+            ServeConfig {
+                workers,
+                cache_capacity: 8,
+            },
+        );
+        // Deterministic simulated numbers, printed once per config.
+        let report = engine.serve_batch(&requests);
+        println!(
+            "[sim] workers={workers}: {} groups, makespan {:.3} ms, {:.0} req/s, \
+             max {} concurrent streams, cache {}h/{}m",
+            report.groups,
+            report.makespan * 1e3,
+            report.throughput,
+            report.concurrency.max_concurrent_streams,
+            report.cache.hits,
+            report.cache.misses,
+        );
+        assert!(
+            report.cache.hits > 0,
+            "a 12-request batch over 3 geometries must hit the plan cache"
+        );
+        if workers >= 2 {
+            assert!(
+                report.concurrency.max_concurrent_streams >= 2,
+                "multi-worker serving must occupy >= 2 simulated streams concurrently"
+            );
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("serve_batch", workers),
+            &requests,
+            |b, reqs| b.iter(|| engine.serve_batch(reqs)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

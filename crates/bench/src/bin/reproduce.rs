@@ -52,7 +52,7 @@ fn parse_args() -> Opts {
             }
             "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
             "--help" | "-h" => {
-                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb all");
+                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve all");
                 println!("flags:   --full (paper-scale sweep)  --k K  --out DIR");
                 std::process::exit(0);
             }
@@ -139,6 +139,33 @@ fn main() {
     if run("comb") {
         comb(&opts, n_lo, n_hi, k, seed);
     }
+    if run("serve") {
+        serve(&opts, fixed_n.min(16), k.min(32), seed);
+    }
+}
+
+/// Extension: the serving layer — plan-cache hit rates and merged
+/// multi-stream throughput across worker counts.
+fn serve(opts: &Opts, log2_n: u32, k: usize, seed: u64) {
+    let batch = if opts.full { 24 } else { 12 };
+    let rows = bench::serve_sweep(log2_n, k, batch, &[1, 2, 4], seed);
+    let mut t = Table::new(
+        &format!("Serving: batch of {batch} requests, n≈2^{log2_n}, k={k} (simulated)"),
+        &["workers", "groups", "makespan", "req/s", "max streams", "avg streams", "cache h/m"],
+    );
+    for p in &rows {
+        t.row(vec![
+            p.workers.to_string(),
+            p.groups.to_string(),
+            fmt_secs(p.makespan),
+            format!("{:.0}", p.throughput),
+            p.max_concurrent_streams.to_string(),
+            format!("{:.2}", p.avg_concurrent_streams),
+            format!("{}/{}", p.cache_hits, p.cache_misses),
+        ]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "serve");
 }
 
 /// Extension: the device-clock analogue of Figure 2.

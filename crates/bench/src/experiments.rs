@@ -414,6 +414,83 @@ pub fn batched_fft_ablation(b: usize, loops: usize) -> (f64, f64) {
     (batched, separate)
 }
 
+/// One row of the serving-throughput experiment: a fixed batch served by
+/// an engine with the given worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct ServePoint {
+    pub workers: usize,
+    pub requests: usize,
+    pub groups: usize,
+    /// Simulated makespan of the merged multi-stream timeline.
+    pub makespan: f64,
+    /// Requests per simulated second.
+    pub throughput: f64,
+    pub max_concurrent_streams: usize,
+    pub avg_concurrent_streams: f64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+/// Builds the standard serving batch: `batch` requests alternating over
+/// three geometries around `n = 2^log2_n` (so one batch exercises the
+/// plan cache and populates several concurrent groups).
+pub fn serve_requests(log2_n: u32, k: usize, batch: usize, seed: u64) -> Vec<cusfft::ServeRequest> {
+    assert!(log2_n >= 10, "serve sweep wants n >= 2^10");
+    let geometries = [
+        (1usize << log2_n, k),
+        (1usize << (log2_n - 1), k),
+        (1usize << log2_n, (k / 2).max(2)),
+    ];
+    (0..batch)
+        .map(|i| {
+            let (n, k) = geometries[i % geometries.len()];
+            let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, seed ^ (i as u64) << 8);
+            cusfft::ServeRequest {
+                time: s.time,
+                k,
+                variant: Variant::Optimized,
+                seed: seed.wrapping_mul(31).wrapping_add(i as u64),
+            }
+        })
+        .collect()
+}
+
+/// Serves the same batch under each worker count with a fresh engine and
+/// reports the merged-timeline throughput and cache/stream counters.
+pub fn serve_sweep(
+    log2_n: u32,
+    k: usize,
+    batch: usize,
+    worker_counts: &[usize],
+    seed: u64,
+) -> Vec<ServePoint> {
+    let requests = serve_requests(log2_n, k, batch, seed);
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let engine = cusfft::ServeEngine::new(
+                DeviceSpec::tesla_k20x(),
+                cusfft::ServeConfig {
+                    workers,
+                    cache_capacity: 8,
+                },
+            );
+            let report = engine.serve_batch(&requests);
+            ServePoint {
+                workers,
+                requests: requests.len(),
+                groups: report.groups,
+                makespan: report.makespan,
+                throughput: report.throughput,
+                max_concurrent_streams: report.concurrency.max_concurrent_streams,
+                avg_concurrent_streams: report.concurrency.avg_concurrent_streams,
+                cache_hits: report.cache.hits,
+                cache_misses: report.cache.misses,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,15 +39,29 @@ pub fn batched_fft_device(
     stream: StreamId,
     label: &str,
 ) {
-    if bufs.is_empty() {
+    let mut rows: Vec<&mut DeviceBuffer<Cplx>> = bufs.iter_mut().collect();
+    batched_fft_rows(device, &mut rows, row_len, stream, label);
+}
+
+/// Like [`batched_fft_device`] but over non-contiguous rows, so callers
+/// can gather same-geometry buffers owned by *different* requests into one
+/// batched launch (the serving layer's cross-request batching).
+pub fn batched_fft_rows(
+    device: &GpuDevice,
+    rows: &mut [&mut DeviceBuffer<Cplx>],
+    row_len: usize,
+    stream: StreamId,
+    label: &str,
+) {
+    if rows.is_empty() {
         return;
     }
     let plan = BatchPlan::new(row_len, 1);
-    for buf in bufs.iter_mut() {
+    for buf in rows.iter_mut() {
         assert_eq!(buf.len(), row_len, "row buffer has wrong length");
         plan.process(buf.as_mut_slice(), Direction::Forward);
     }
-    let dur = cufft_model_time(device, row_len, bufs.len());
+    let dur = cufft_model_time(device, row_len, rows.len());
     device.charge_device_op(label, dur, stream);
 }
 

@@ -14,7 +14,10 @@
 //!   and [`Variant::Optimized`] tiers (the two cusFFT curves of Figure 5),
 //!   plus an optional sFFT-v2 comb pre-filter ([`CusFft::with_comb`],
 //!   kernels in [`comb`]);
-//! * [`report`] — step-level timing breakdowns.
+//! * [`report`] — step-level timing breakdowns;
+//! * [`plan_cache`] / [`serve`] — the concurrent serving layer: a keyed
+//!   LRU plan cache and sharded multi-stream batch dispatch
+//!   ([`ServeEngine`]), with cross-request cuFFT batching.
 //!
 //! ## Quick start
 //!
@@ -45,9 +48,13 @@ pub mod cutoff;
 pub mod locate;
 pub mod perm_filter;
 pub mod pipeline;
+pub mod plan_cache;
 pub mod reconstruct;
 pub mod report;
+pub mod serve;
 
-pub use cufft::{batched_fft_device, cufft_dense_baseline, cufft_model_time};
-pub use pipeline::{CusFft, CusFftOutput, Variant};
+pub use cufft::{batched_fft_device, batched_fft_rows, cufft_dense_baseline, cufft_model_time};
+pub use pipeline::{CusFft, CusFftOutput, ExecStreams, Variant};
+pub use plan_cache::{CacheStats, PlanCache, PlanKey};
 pub use report::StepBreakdown;
+pub use serve::{ServeConfig, ServeEngine, ServeReport, ServeRequest, ServeResponse};

@@ -25,7 +25,7 @@ use rand::SeedableRng;
 use sfft_cpu::{Permutation, SfftParams};
 use signal::Recovered;
 
-use crate::cufft::batched_fft_device;
+use crate::cufft::batched_fft_rows;
 use crate::cutoff::{fast_select_device, magnitudes_device, noise_threshold_device, sort_select_device};
 use crate::locate::{locate_device, LocateState};
 use crate::perm_filter::{perm_filter_async, perm_filter_partition};
@@ -33,7 +33,7 @@ use crate::reconstruct::{reconstruct_device, LoopMeta, SideGeometry};
 use crate::report::StepBreakdown;
 
 /// Which implementation tier to run (the two curves of Figure 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// Section IV: loop-partition filter kernel + Thrust sort&select.
     Baseline,
@@ -84,6 +84,49 @@ pub struct CusFft {
     select_factor: f64,
     /// Optional sFFT-v2 comb pre-filter.
     comb: Option<sfft_cpu::CombParams>,
+}
+
+/// The set of simulated streams one execution enqueues on: `main` carries
+/// the serial backbone (filters, cuFFT, cutoff, locate, reconstruct) and
+/// `aux` feeds the async layout transformation. Created once per worker in
+/// the serving layer so that consecutive requests on the same worker reuse
+/// the same stream ids (fresh ids per request would fake concurrency the
+/// hardware does not have).
+pub struct ExecStreams {
+    /// Backbone stream (the default stream in the single-shot path).
+    pub main: StreamId,
+    /// Auxiliary streams for `perm_filter_async`.
+    pub aux: Vec<StreamId>,
+}
+
+impl ExecStreams {
+    /// Creates `num_aux` fresh auxiliary streams on `device`, with the
+    /// device's default stream as the backbone.
+    pub fn on_device(device: &GpuDevice, num_aux: usize) -> Self {
+        ExecStreams {
+            main: DEFAULT_STREAM,
+            aux: (0..num_aux).map(|_| device.create_stream()).collect(),
+        }
+    }
+
+    /// Same, but with a dedicated (non-default) backbone stream — used by
+    /// serve workers so each worker's ops land on its own stream family.
+    pub fn on_device_private(device: &GpuDevice, num_aux: usize) -> Self {
+        ExecStreams {
+            main: device.create_stream(),
+            aux: (0..num_aux).map(|_| device.create_stream()).collect(),
+        }
+    }
+}
+
+/// Per-request state between [`CusFft::prepare`] and [`CusFft::finish`]:
+/// the filtered bucket buffers awaiting their (possibly batched-across-
+/// requests) cuFFT, plus the permutations and comb mask the back half
+/// needs.
+pub struct PreparedRequest {
+    pub(crate) bucket_bufs: Vec<DeviceBuffer<Cplx>>,
+    pub(crate) perms: Vec<Permutation>,
+    pub(crate) mask_buf: Option<DeviceBuffer<u8>>,
 }
 
 impl CusFft {
@@ -143,19 +186,47 @@ impl CusFft {
     /// the CPU reference implementations).
     pub fn execute(&self, time: &[Cplx], seed: u64) -> CusFftOutput {
         let p = &*self.params;
-        let n = p.n;
-        assert_eq!(time.len(), n, "signal length must match params.n");
+        assert_eq!(time.len(), p.n, "signal length must match params.n");
         let device = &*self.device;
         device.reset_clock();
 
-        let stream0 = DEFAULT_STREAM;
         // The input is device-resident for the timed region; its PCIe cost
         // is reported separately (see `CusFftOutput::input_transfer`).
         let signal = DeviceBuffer::from_host(time);
         let input_transfer = gpu_sim::transfer_time(device.spec(), signal.size_bytes());
-        let streams: Vec<StreamId> = (0..self.num_streams)
-            .map(|_| device.create_stream())
-            .collect();
+        let streams = ExecStreams::on_device(device, self.num_streams);
+
+        let mut prep = self.prepare(device, &signal, seed, &streams);
+        self.run_batched_ffts(device, &mut [&mut prep], streams.main);
+        let (recovered, num_hits) = self.finish(device, &prep, &streams);
+
+        let sim_time = device.elapsed();
+        let steps = StepBreakdown::from_records(&device.records());
+        CusFftOutput {
+            recovered,
+            sim_time,
+            input_transfer,
+            steps,
+            num_hits,
+        }
+    }
+
+    /// Front half of the pipeline (steps 1-2): comb mask, permutations,
+    /// and the permutation+filter+bin loops. Returns the filtered bucket
+    /// buffers awaiting their cuFFT. `device` need not be the plan's own
+    /// device — the serving layer runs a shared plan on per-worker devices
+    /// (the plan's filter buffers are device-agnostic host-backed arrays).
+    pub(crate) fn prepare(
+        &self,
+        device: &GpuDevice,
+        signal: &DeviceBuffer<Cplx>,
+        seed: u64,
+        streams: &ExecStreams,
+    ) -> PreparedRequest {
+        let p = &*self.params;
+        let n = p.n;
+        assert_eq!(signal.len(), n, "signal length must match params.n");
+        let stream0 = streams.main;
 
         // Optional comb pre-filter (sFFT v2): compute the residue mask
         // first, on the device. It consumes the RNG ahead of the
@@ -163,7 +234,7 @@ impl CusFft {
         let mut rng = StdRng::seed_from_u64(seed);
         let mask_buf: Option<DeviceBuffer<u8>> = self.comb.as_ref().map(|comb| {
             let mask =
-                crate::comb::comb_mask_device(device, &signal, n, p.k, comb, &mut rng, stream0);
+                crate::comb::comb_mask_device(device, signal, n, p.k, comb, &mut rng, stream0);
             let bytes: Vec<u8> = mask.into_iter().map(u8::from).collect();
             DeviceBuffer::from_host(&bytes)
         });
@@ -183,19 +254,60 @@ impl CusFft {
             let mut out = DeviceBuffer::zeroed(b);
             match self.variant {
                 Variant::Baseline => perm_filter_partition(
-                    device, &signal, taps, w_pad, w, b, perm, &mut out, stream0,
+                    device, signal, taps, w_pad, w, b, perm, &mut out, stream0,
                 ),
                 Variant::Optimized => perm_filter_async(
-                    device, &signal, taps, w_pad, w, b, perm, &mut out, &streams, stream0,
+                    device, signal, taps, w_pad, w, b, perm, &mut out, &streams.aux, stream0,
                 ),
             }
             bucket_bufs.push(out);
         }
 
-        // Step 3: two batched cuFFT calls (location and estimation sides).
-        let (loc_bufs, est_bufs) = bucket_bufs.split_at_mut(p.loops_loc);
-        batched_fft_device(device, loc_bufs, p.b_loc, stream0, "cufft_batched_loc");
-        batched_fft_device(device, est_bufs, p.b_est, stream0, "cufft_batched_est");
+        PreparedRequest {
+            bucket_bufs,
+            perms,
+            mask_buf,
+        }
+    }
+
+    /// Step 3: the batched cuFFT calls — one per bucket geometry — over
+    /// *all* prepared requests in `group`. With a single request this is
+    /// exactly the two launches of the single-shot path; the serving layer
+    /// passes every same-plan request in a batch so their subsampled FFTs
+    /// ride in one cuFFT launch per side ("compute cuFFT only once",
+    /// amortised across requests as well as loops).
+    pub(crate) fn run_batched_ffts(
+        &self,
+        device: &GpuDevice,
+        group: &mut [&mut PreparedRequest],
+        stream: StreamId,
+    ) {
+        let p = &*self.params;
+        let mut loc_rows: Vec<&mut DeviceBuffer<Cplx>> = Vec::new();
+        let mut est_rows: Vec<&mut DeviceBuffer<Cplx>> = Vec::new();
+        for prep in group.iter_mut() {
+            let (loc, est) = prep.bucket_bufs.split_at_mut(p.loops_loc);
+            loc_rows.extend(loc.iter_mut());
+            est_rows.extend(est.iter_mut());
+        }
+        batched_fft_rows(device, &mut loc_rows, p.b_loc, stream, "cufft_batched_loc");
+        batched_fft_rows(device, &mut est_rows, p.b_est, stream, "cufft_batched_est");
+    }
+
+    /// Back half of the pipeline (steps 4-6): cutoff + location voting per
+    /// location loop, reconstruction over the hits, and the result
+    /// transfers. Returns the sorted sparse spectrum and the hit count.
+    pub(crate) fn finish(
+        &self,
+        device: &GpuDevice,
+        prep: &PreparedRequest,
+        streams: &ExecStreams,
+    ) -> (Recovered, usize) {
+        let p = &*self.params;
+        let n = p.n;
+        let stream0 = streams.main;
+        let bucket_bufs = &prep.bucket_bufs;
+        let perms = &prep.perms;
 
         // Steps 4-5: cutoff + location voting per location loop.
         let state = LocateState::new(n, n);
@@ -216,7 +328,7 @@ impl CusFft {
             };
             let sel_host: Vec<u32> = selected.iter().map(|&i| i as u32).collect();
             let sel_buf = DeviceBuffer::from_host(&sel_host);
-            match &mask_buf {
+            match &prep.mask_buf {
                 Some(mask) => crate::locate::locate_masked_device(
                     device,
                     &sel_buf,
@@ -267,7 +379,7 @@ impl CusFft {
             device,
             &hits_buf,
             &metas,
-            &bucket_bufs,
+            bucket_bufs,
             &loc_geo,
             &est_geo,
             n,
@@ -286,17 +398,20 @@ impl CusFft {
             .collect();
         recovered.sort_unstable_by_key(|&(f, _)| f);
 
-        let sim_time = device.elapsed();
-        let steps = StepBreakdown::from_records(&device.records());
-        CusFftOutput {
-            recovered,
-            sim_time,
-            input_transfer,
-            steps,
-            num_hits: hits.len(),
-        }
+        (recovered, hits.len())
+    }
+
+    /// Auxiliary streams the async layout transformation wants.
+    pub(crate) fn num_streams(&self) -> usize {
+        self.num_streams
     }
 }
+
+// The serving layer shares one plan across worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CusFft>();
+};
 
 /// Pads filter taps to a multiple of `b` and uploads them.
 fn padded_taps(filter: &filters::FlatFilter, b: usize) -> (DeviceBuffer<Cplx>, usize) {

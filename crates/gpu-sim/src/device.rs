@@ -391,6 +391,13 @@ impl GpuDevice {
         self.state.lock().records.clone()
     }
 
+    /// Snapshot of the raw timeline ops since the last reset — the input
+    /// to [`crate::timeline::merge_op_groups`] when several private
+    /// devices' recordings are combined into one serving timeline.
+    pub fn ops(&self) -> Vec<Op> {
+        self.state.lock().ops.clone()
+    }
+
     /// Sum of modelled durations grouped by kernel name — the profiler view
     /// used to regenerate the paper's Figure 2.
     pub fn time_by_kernel(&self) -> Vec<(String, f64)> {

@@ -42,4 +42,7 @@ pub use launch::{LaunchConfig, ThreadCtx};
 pub use metrics::KernelStats;
 pub use occupancy::{occupancy, suggest_block_size, Occupancy};
 pub use spec::{CpuSpec, DeviceSpec};
-pub use timeline::StreamId;
+pub use timeline::{
+    concurrency_profile, merge_op_groups, schedule, ConcurrencyProfile, Engine, Op, Schedule,
+    StreamId, StreamOccupancy,
+};

@@ -1,0 +1,90 @@
+//! Property tests for the serving layer's plan cache: under arbitrary
+//! interleaved lookup sequences, plans never cross-contaminate (the plan
+//! returned for a key always has that key's geometry and variant) and the
+//! resident set never exceeds the LRU bound.
+
+use std::sync::Arc;
+
+use cusfft::{PlanCache, PlanKey, Variant};
+use gpu_sim::{DeviceSpec, GpuDevice};
+use proptest::prelude::*;
+
+/// Decodes a generated triple into a plan key: signal lengths 2^9..2^12,
+/// sparsities {2, 4, 8}, both variants.
+fn key(n_exp: usize, k_sel: usize, v_sel: usize) -> PlanKey {
+    PlanKey {
+        n: 1 << n_exp,
+        k: [2, 4, 8][k_sel],
+        variant: if v_sel == 0 {
+            Variant::Baseline
+        } else {
+            Variant::Optimized
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn plans_never_cross_contaminate_and_lru_bound_holds(
+        capacity in 1usize..5,
+        lookups in prop::collection::vec((9usize..13, 0usize..3, 0usize..2), 1..30),
+    ) {
+        let cache = PlanCache::new(capacity);
+        let device = Arc::new(GpuDevice::new(DeviceSpec::tesla_k20x()));
+        for &(n_exp, k_sel, v_sel) in &lookups {
+            let k = key(n_exp, k_sel, v_sel);
+            let plan = cache.get_or_build(&device, k);
+            // The plan handed back for this key must be *for* this key —
+            // an interleaved workload must never observe another
+            // geometry's filters or the wrong variant.
+            prop_assert_eq!(plan.params().n, k.n);
+            prop_assert_eq!(plan.params().k, k.k);
+            prop_assert_eq!(plan.variant(), k.variant);
+            // The LRU bound is an invariant, not an eventual property.
+            prop_assert!(cache.stats().len <= capacity);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, lookups.len() as u64);
+    }
+
+    #[test]
+    fn repeated_key_shares_one_plan(
+        n_exp in 9usize..13,
+        k_sel in 0usize..3,
+        repeats in 2usize..6,
+    ) {
+        let cache = PlanCache::new(4);
+        let device = Arc::new(GpuDevice::new(DeviceSpec::tesla_k20x()));
+        let k = key(n_exp, k_sel, 1);
+        let first = cache.get_or_build(&device, k);
+        for _ in 1..repeats {
+            let again = cache.get_or_build(&device, k);
+            prop_assert!(Arc::ptr_eq(&first, &again),
+                "hits must return the cached plan, not a rebuild");
+        }
+        prop_assert_eq!(cache.stats().misses, 1);
+        prop_assert_eq!(cache.stats().hits, (repeats - 1) as u64);
+    }
+}
+
+#[test]
+fn eviction_is_strictly_lru() {
+    // Deterministic companion to the property: fill a capacity-2 cache,
+    // touch the older key, insert a third — the untouched key is evicted.
+    let cache = PlanCache::new(2);
+    let device = Arc::new(GpuDevice::new(DeviceSpec::tesla_k20x()));
+    let a = key(9, 0, 0);
+    let b = key(10, 0, 0);
+    let c = key(11, 0, 0);
+    cache.get_or_build(&device, a);
+    cache.get_or_build(&device, b);
+    cache.get_or_build(&device, a); // a most recent; b is the LRU victim
+    cache.get_or_build(&device, c);
+    assert_eq!(cache.stats().evictions, 1);
+    cache.get_or_build(&device, a); // still resident: a hit
+    assert_eq!(cache.stats().hits, 2);
+    cache.get_or_build(&device, b); // evicted: a rebuild
+    assert_eq!(cache.stats().misses, 4);
+}

@@ -1,0 +1,230 @@
+//! Offline stand-in for the subset of the `criterion` API this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_function` / `bench_with_input` /
+//! `BenchmarkId`, and `Bencher::iter`. See `third_party/README.md`.
+//!
+//! Measurement model: each benchmark body is warmed up once, then timed
+//! over a fixed wall-clock budget (`CRITERION_STUB_BUDGET_MS`, default
+//! 300 ms per benchmark) and reported as mean seconds per iteration on
+//! stdout. No statistics, plots, or baselines — enough to compare kernels
+//! locally, not a replacement for real criterion runs.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser identity, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Wall-clock budget per benchmark.
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_STUB_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Runs closures under [`Bencher::iter`] and accumulates timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up call.
+        std_black_box(f());
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            std_black_box(f());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Identifies one parameterised benchmark, e.g. `new("fft", 20)`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds a bare parameter id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; the stub's per-call wall-clock
+    /// budget (see [`Bencher::iter`]) governs instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for source compatibility (see [`Self::sample_size`]).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for source compatibility (see [`Self::sample_size`]).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            budget: budget(),
+        };
+        f(&mut b);
+        let mean = if b.iters > 0 {
+            b.elapsed.as_secs_f64() / b.iters as f64
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:<50} {:>12.6} ms/iter ({} iters)",
+            format!("{}/{}", self.group_name, id),
+            mean * 1e3,
+            b.iters
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.name, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.name.clone();
+        self.run(&name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate in the stand-in; this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group_name = name.into();
+        println!("\n== {group_name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            group_name,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            group_name: String::new(),
+        };
+        g.run(id, f);
+        self
+    }
+
+    /// Hook kept for `criterion_main!` compatibility.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmark(s) run (criterion stand-in)", self.benchmarks_run);
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        std::env::set_var("CRITERION_STUB_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.finish();
+        assert!(count > 0, "body should have run");
+        assert_eq!(c.benchmarks_run, 2);
+    }
+}

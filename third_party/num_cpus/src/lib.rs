@@ -1,0 +1,26 @@
+//! Offline stand-in for `num_cpus`, backed by
+//! [`std::thread::available_parallelism`]. See `third_party/README.md`.
+
+/// Logical CPU count visible to this process (≥ 1).
+pub fn get() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Physical core count. `available_parallelism` reports logical CPUs;
+/// without /proc parsing we return the same value, which is exact on
+/// SMT-less hosts and an upper bound elsewhere.
+pub fn get_physical() -> usize {
+    get()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn at_least_one() {
+        assert!(super::get() >= 1);
+        assert!(super::get_physical() >= 1);
+        assert!(super::get_physical() <= super::get());
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses: the [`proptest!`] macro, `prop_assert*` macros, range/tuple/
+//! collection strategies, `prop_map`/`prop_flat_map`, and
+//! [`ProptestConfig::with_cases`]. See `third_party/README.md`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic**: each test case's inputs derive from a seed hashed
+//!   from the test name and case index — no entropy, no `PROPTEST_*` env
+//!   handling, identical inputs on every run and host.
+//! * **No shrinking**: a failing case panics with the `prop_assert!`
+//!   message for that raw input rather than a minimised counterexample.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the workspace's property tests import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirrors `proptest::prelude::prop`, the path property tests use to
+    /// reach the collection strategies (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Deterministic per-(test, case) seed: FNV-1a over the test name, mixed
+/// with the case index.
+#[doc(hidden)]
+pub fn __seed(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` against `config.cases`
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($p:pat_param in $s:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(
+                        $crate::__seed(stringify!($name), __case),
+                    );
+                    $(let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` with proptest's name (no shrinking in the stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` with proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` with proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, usize)> {
+        (0.0..1.0f64, 1usize..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0usize..100, f in -1.0..1.0f64) {
+            prop_assert!(x < 100);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0u32..5, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(
+            v in (2usize..6).prop_flat_map(|n| prop::collection::vec(0.0..1.0f64, n)),
+            (a, b) in pair().prop_map(|(f, n)| (f * 2.0, n + 1)),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!((0.0..2.0).contains(&a));
+            prop_assert!((2..11).contains(&b));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1_000_000, 5..20);
+        let run = || {
+            let mut out = Vec::new();
+            for case in 0..10 {
+                let mut rng = crate::test_runner::TestRng::deterministic(crate::__seed("t", case));
+                out.push(strat.generate(&mut rng));
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline stand-in for the subset of the `rand` crate API this workspace
+//! uses (see `third_party/README.md` for the policy).
+//!
+//! The container this repo builds in has no access to crates.io, so the
+//! workspace vendors a minimal, deterministic implementation of the calls
+//! it actually makes: `StdRng::seed_from_u64`, `Rng::gen_range` over
+//! integer and float ranges, and `Rng::gen::<bool>()`.
+//!
+//! [`rngs::StdRng`] here is a SplitMix64 generator — *not* the ChaCha12
+//! generator of upstream `rand 0.8` — so absolute random streams differ
+//! from upstream. Nothing in this repo depends on the upstream stream:
+//! every test and experiment compares our own seeded runs against each
+//! other, which only requires the generator to be deterministic per seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Samples a value from the full/"standard" distribution of the type.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps 64 random bits to `[0, 1)` with 53-bit precision.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % width) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi as u128) - (lo as u128) + 1;
+                lo + (rng.next_u64() as u128 % width) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impls!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + (self.end - self.start) * unit_f64(rng.next_u64());
+        // Floating rounding may land exactly on `end`; clamp back inside.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Samples the type's standard distribution (`bool` = fair coin,
+    /// `f64` = uniform `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush when
+            // used as a stream; one add + two xor-shift-multiplies.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1_000_000), b.gen_range(0usize..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same = (0..100).all(|_| a.gen_range(0u64..u64::MAX) == c.gen_range(0u64..u64::MAX));
+        assert!(!same, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0..3.5f64);
+            assert!((-2.0..3.5).contains(&f));
+            let g = rng.gen_range(0.25..=0.75f64);
+            assert!((0.25..=0.75).contains(&g));
+        }
+    }
+
+    #[test]
+    fn float_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.0..1.0f64);
+            lo_seen |= v < 0.1;
+            hi_seen |= v > 0.9;
+        }
+        assert!(lo_seen && hi_seen, "samples should cover the range");
+    }
+
+    #[test]
+    fn gen_bool_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4000..6000).contains(&heads), "heads = {heads}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! this shim (see `third_party/README.md`). Every `par_*` entry point
+//! returns the corresponding **sequential** standard-library iterator:
+//! all downstream adaptors (`map`, `enumerate`, `filter_map`, `collect`,
+//! …) are ordinary [`Iterator`] methods, results are bit-identical to a
+//! sequential run, and — this host being single-core — nothing is lost.
+//!
+//! Functional-correctness note: everything in this repo that runs under
+//! `par_*` writes disjoint chunks or uses the `gpu-sim` atomic cells, so
+//! sequential execution is an observational no-op apart from wall-clock
+//! time on multi-core hosts. Real concurrency in the serving layer comes
+//! from `std::thread` in `cusfft::serve`, not from this shim.
+
+pub mod prelude {
+    /// `into_par_iter()` for owned collections and ranges: the sequential
+    /// [`IntoIterator`] equivalent.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for `rayon`'s `into_par_iter`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` for shared references.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item iterator type.
+        type Iter: Iterator;
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut()` for exclusive references.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Item iterator type.
+        type Iter: Iterator;
+        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// Chunked views and parallel sorts on slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        /// Sequential stand-in for `par_chunks_exact`.
+        fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T>;
+        /// Sequential stand-in for `par_chunks_exact_mut`.
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T>;
+        /// Sequential stand-in for `par_sort_unstable_by`.
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering;
+        /// Sequential stand-in for `par_sort_unstable`.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+
+        fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T> {
+            self.chunks_exact(chunk_size)
+        }
+
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T> {
+            self.chunks_exact_mut(chunk_size)
+        }
+
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering,
+        {
+            self.sort_unstable_by(compare);
+        }
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+    }
+
+    pub use IntoParallelIterator as _;
+    pub use IntoParallelRefIterator as _;
+    pub use IntoParallelRefMutIterator as _;
+    pub use ParallelSlice as _;
+}
+
+/// Runs both closures (sequentially here) and returns their results —
+/// `rayon::join` has the same signature.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of "worker threads": 1 for the sequential shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_adaptors_behave_like_std() {
+        let v: Vec<u32> = (0..100).collect();
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled[99], 198);
+        let s: u32 = (0..10usize).into_par_iter().map(|i| i as u32).sum();
+        assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint() {
+        let mut v = vec![0u32; 64];
+        v.par_chunks_mut(16).enumerate().for_each(|(b, chunk)| {
+            for c in chunk.iter_mut() {
+                *c = b as u32;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[63], 3);
+    }
+
+    #[test]
+    fn par_sort_sorts() {
+        let mut v = vec![5.0f64, 1.0, 3.0];
+        v.par_sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(v, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1, || "x");
+        assert_eq!((a, b), (1, "x"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The repo derives `Serialize`/`Deserialize` on a handful of config and
+//! spec types but never actually serialises them (no format crate such as
+//! `serde_json` is a dependency). The stand-in therefore provides the two
+//! traits as markers plus no-op derive macros, keeping the derives in
+//! place so a future PR can swap in real `serde` without touching any
+//! call sites. See `third_party/README.md` for the vendoring policy.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(
+    bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}

@@ -1,0 +1,53 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored `serde`
+//! stand-in: each derive emits an empty marker-trait impl for the type.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are equally unfetchable offline). Supports plain structs and
+//! enums without generic parameters — which covers every derive site in
+//! this workspace; a type with generics gets a compile error pointing
+//! here.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name: the identifier following the `struct` / `enum`
+/// keyword, and rejects generic parameter lists.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde stub derive: expected type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    assert!(
+                        p.as_char() != '<',
+                        "serde stub derive does not support generic types (see third_party/serde_derive)"
+                    );
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde stub derive: no struct/enum found in input");
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

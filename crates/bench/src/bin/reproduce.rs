@@ -14,7 +14,9 @@
 //!   fig5c     speedup over cuFFT             fig5d  speedup over FFTW
 //!   fig5e     speedup over PsFFT             fig5f  L1 error vs k
 //!   ablation  Section V design-choice ablations
-//!   all       everything above (default)
+//!   hostperf  host execution engine: wall time vs pool width
+//!             (explicit-only — sweeps to n = 2^24; `--smoke` shrinks it)
+//!   all       everything above except hostperf (default)
 //! ```
 //!
 //! The default ("quick") profile scales the paper's sweep down to sizes a
@@ -30,6 +32,7 @@ use gpu_sim::{CpuSpec, DeviceSpec};
 struct Opts {
     target: String,
     full: bool,
+    smoke: bool,
     k: Option<usize>,
     out: PathBuf,
 }
@@ -37,12 +40,14 @@ struct Opts {
 fn parse_args() -> Opts {
     let mut target = "all".to_string();
     let mut full = false;
+    let mut smoke = false;
     let mut k = None;
     let mut out = PathBuf::from("results");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => full = true,
+            "--smoke" => smoke = true,
             "--k" => {
                 k = Some(
                     args.next()
@@ -52,8 +57,8 @@ fn parse_args() -> Opts {
             }
             "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
             "--help" | "-h" => {
-                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve all");
-                println!("flags:   --full (paper-scale sweep)  --k K  --out DIR");
+                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve hostperf all");
+                println!("flags:   --full (paper-scale sweep)  --smoke (tiny CI sizes)  --k K  --out DIR");
                 std::process::exit(0);
             }
             t => target = t.to_string(),
@@ -62,6 +67,7 @@ fn parse_args() -> Opts {
     Opts {
         target,
         full,
+        smoke,
         k,
         out,
     }
@@ -141,6 +147,78 @@ fn main() {
     }
     if run("serve") {
         serve(&opts, fixed_n.min(16), k.min(32), seed);
+    }
+    // hostperf sweeps up to n = 2^24, so it runs only when asked for
+    // explicitly (use --smoke for the small CI profile).
+    if opts.target == "hostperf" {
+        hostperf(&opts, seed);
+    }
+}
+
+/// Extension: host execution engine — wall-clock speedup of the
+/// work-stealing pool over its single-thread pinning on the same plan.
+/// Emits `BENCH_host_parallel.json` for the perf record.
+fn hostperf(opts: &Opts, seed: u64) {
+    let (sizes, reps): (&[u32], usize) = if opts.smoke {
+        (&[14, 16], 1)
+    } else {
+        (&[20, 22, 24], 3)
+    };
+    let k = opts.k.unwrap_or(100);
+    let host_cpus = num_cpus::get();
+    eprintln!(
+        "[hostperf] n = {:?} (log2), k = {k}, pool = {} threads on {host_cpus} logical CPUs",
+        sizes,
+        rayon::current_num_threads(),
+    );
+
+    let rows = bench::host_parallel_bench(sizes.iter().copied(), k, seed, reps);
+
+    let mut t = Table::new(
+        "Host execution engine: wall time, pool=1 vs default pool",
+        &["log2(n)", "k", "threads", "wall seq", "wall par", "speedup", "prepare", "batch FFT", "finish"],
+    );
+    for p in &rows {
+        t.row(vec![
+            p.log2_n.to_string(),
+            p.k.to_string(),
+            p.pool_threads.to_string(),
+            fmt_secs(p.wall_sequential),
+            fmt_secs(p.wall_parallel),
+            fmt_ratio(p.speedup()),
+            fmt_secs(p.phases.prepare),
+            fmt_secs(p.phases.batched_fft),
+            fmt_secs(p.phases.finish),
+        ]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "hostperf");
+
+    // Hand-rolled JSON (no serde_json in the vendored set).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_logical_cpus\": {host_cpus},\n"));
+    json.push_str(
+        "  \"note\": \"wall times are best-of-reps host seconds; speedup ~1x is expected on single-core hosts (pool falls back to the inline sequential path)\",\n",
+    );
+    json.push_str("  \"points\": [\n");
+    for (i, p) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"pool_threads\": {}, \"n\": {}, \"k\": {}, \"wall_ms_sequential\": {:.3}, \"wall_ms_parallel\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            p.pool_threads,
+            1u64 << p.log2_n,
+            p.k,
+            p.wall_sequential * 1e3,
+            p.wall_parallel * 1e3,
+            p.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let _ = std::fs::create_dir_all(&opts.out);
+    let path = opts.out.join("BENCH_host_parallel.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }
 

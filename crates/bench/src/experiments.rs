@@ -406,6 +406,113 @@ pub fn comb_ablation(log2_n: u32, k: usize, seed: u64) -> CombAblation {
     }
 }
 
+/// One point of the host-parallel engine benchmark: the same plan,
+/// executed once with the work-stealing pool pinned to a single thread
+/// and once with the default pool. The outputs are bit-identical by the
+/// engine's determinism contract (see `third_party/rayon`), so the only
+/// thing that moves is host wall time.
+#[derive(Debug, Clone, Copy)]
+pub struct HostParallelPoint {
+    /// log2 of the signal size.
+    pub log2_n: u32,
+    /// Sparsity.
+    pub k: usize,
+    /// Pool width used for the parallel run (`rayon::current_num_threads`
+    /// under the default configuration).
+    pub pool_threads: usize,
+    /// Best-of-reps host wall seconds with the pool pinned to 1 thread.
+    pub wall_sequential: f64,
+    /// Best-of-reps host wall seconds with the default pool.
+    pub wall_parallel: f64,
+    /// Per-phase host walls of the best parallel rep.
+    pub phases: cusfft::HostPhaseWalls,
+    /// Modelled device seconds (identical in both modes — asserted).
+    pub sim_time: f64,
+}
+
+impl HostParallelPoint {
+    /// Host-side speedup of the default pool over the pinned pool.
+    pub fn speedup(&self) -> f64 {
+        self.wall_sequential / self.wall_parallel
+    }
+}
+
+/// Measures one `(n, k)` point of the host-parallel benchmark.
+///
+/// Both modes run the same [`CusFft`] plan on fresh devices; wall times
+/// are the minimum over `reps` repetitions (first rep per mode is a
+/// discarded warm-up when `reps > 1`). Panics if the two modes disagree
+/// on the modelled time — that would be a determinism bug, not noise.
+pub fn host_parallel_point(log2_n: u32, k: usize, seed: u64, reps: usize) -> HostParallelPoint {
+    let n = 1usize << log2_n;
+    let k = k.min(n / 8);
+    let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, seed);
+    let params = Arc::new(SfftParams::tuned(n, k));
+    let plan = CusFft::new(
+        Arc::new(GpuDevice::new(DeviceSpec::tesla_k20x())),
+        params,
+        Variant::Optimized,
+    );
+
+    let one = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool build is infallible");
+
+    let mut wall_sequential = f64::INFINITY;
+    let mut sim_seq = 0.0;
+    for rep in 0..reps.max(1) {
+        let t = Instant::now();
+        let out = one.install(|| plan.execute(&s.time, seed));
+        let wall = t.elapsed().as_secs_f64();
+        sim_seq = out.sim_time;
+        if rep > 0 || reps == 1 {
+            wall_sequential = wall_sequential.min(wall);
+        }
+    }
+
+    let mut wall_parallel = f64::INFINITY;
+    let mut phases = cusfft::HostPhaseWalls::default();
+    let mut sim_par = 0.0;
+    for rep in 0..reps.max(1) {
+        let t = Instant::now();
+        let (out, walls) = plan.execute_profiled(&s.time, seed);
+        let wall = t.elapsed().as_secs_f64();
+        sim_par = out.sim_time;
+        if (rep > 0 || reps == 1) && wall < wall_parallel {
+            wall_parallel = wall;
+            phases = walls;
+        }
+    }
+
+    assert_eq!(
+        sim_seq, sim_par,
+        "modelled time must not depend on pool width"
+    );
+
+    HostParallelPoint {
+        log2_n,
+        k,
+        pool_threads: rayon::current_num_threads(),
+        wall_sequential,
+        wall_parallel,
+        phases,
+        sim_time: sim_par,
+    }
+}
+
+/// Sweeps the host-parallel benchmark over signal sizes.
+pub fn host_parallel_bench(
+    log2_range: impl Iterator<Item = u32>,
+    k: usize,
+    seed: u64,
+    reps: usize,
+) -> Vec<HostParallelPoint> {
+    log2_range
+        .map(|l| host_parallel_point(l, k, seed, reps))
+        .collect()
+}
+
 /// Batched vs per-loop cuFFT (the Step-3 design choice).
 pub fn batched_fft_ablation(b: usize, loops: usize) -> (f64, f64) {
     let device = GpuDevice::new(DeviceSpec::tesla_k20x());

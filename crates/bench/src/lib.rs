@@ -19,9 +19,10 @@ pub mod viz;
 
 pub use experiments::{
     batched_fft_ablation, comb_ablation, device_sweep, fig2a, fig2b, fig5a, fig5b, fig5f,
-    fig2_gpu, filter_ablation, noise_sweep, runtime_point, selection_ablation, serve_requests,
-    serve_sweep, CombAblation, FilterAblation, GpuProfileRow, NoisePoint, ProfileRow,
-    RuntimePoint, SelectionAblation, ServePoint,
+    fig2_gpu, filter_ablation, host_parallel_bench, host_parallel_point, noise_sweep,
+    runtime_point, selection_ablation, serve_requests, serve_sweep, CombAblation, FilterAblation,
+    GpuProfileRow, HostParallelPoint, NoisePoint, ProfileRow, RuntimePoint, SelectionAblation,
+    ServePoint,
 };
 pub use table::{fmt_ratio, fmt_secs, Table};
 pub use viz::{render_chart, Series};

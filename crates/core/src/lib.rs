@@ -54,7 +54,7 @@ pub mod report;
 pub mod serve;
 
 pub use cufft::{batched_fft_device, batched_fft_rows, cufft_dense_baseline, cufft_model_time};
-pub use pipeline::{CusFft, CusFftOutput, ExecStreams, Variant};
+pub use pipeline::{CusFft, CusFftOutput, ExecStreams, HostPhaseWalls, Variant};
 pub use plan_cache::{CacheStats, PlanCache, PlanKey};
 pub use report::StepBreakdown;
 pub use serve::{ServeConfig, ServeEngine, ServeReport, ServeRequest, ServeResponse};

@@ -67,6 +67,29 @@ impl CusFftOutput {
     }
 }
 
+/// Host wall-clock seconds per phase of one [`CusFft::execute_profiled`]
+/// run. This is the *host execution engine* view (how long the pool took
+/// to functionally execute each phase); the simulated-device view of the
+/// same run is [`StepBreakdown`]. The split follows the serving layer's
+/// phase boundaries: front half (perm+filter+bin), batched cuFFT, back
+/// half (cutoff+locate+estimate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostPhaseWalls {
+    /// Front half: comb mask, permutations, filter+bin kernels.
+    pub prepare: f64,
+    /// Batched subsampled FFTs.
+    pub batched_fft: f64,
+    /// Back half: cutoff, location, reconstruction.
+    pub finish: f64,
+}
+
+impl HostPhaseWalls {
+    /// Total host wall seconds across the three phases.
+    pub fn total(&self) -> f64 {
+        self.prepare + self.batched_fft + self.finish
+    }
+}
+
 /// A reusable cusFFT plan: device-resident filters plus launch settings.
 pub struct CusFft {
     device: Arc<GpuDevice>,
@@ -185,6 +208,14 @@ impl CusFft {
     /// (the seed drives the permutations, consumed in the same order as
     /// the CPU reference implementations).
     pub fn execute(&self, time: &[Cplx], seed: u64) -> CusFftOutput {
+        self.execute_profiled(time, seed).0
+    }
+
+    /// Like [`CusFft::execute`], additionally reporting *host* wall-clock
+    /// seconds per pipeline phase — the host-execution-engine view used
+    /// by the `hostperf` benchmark. The returned output is bit-identical
+    /// to [`CusFft::execute`] (profiling only reads the host clock).
+    pub fn execute_profiled(&self, time: &[Cplx], seed: u64) -> (CusFftOutput, HostPhaseWalls) {
         let p = &*self.params;
         assert_eq!(time.len(), p.n, "signal length must match params.n");
         let device = &*self.device;
@@ -196,19 +227,29 @@ impl CusFft {
         let input_transfer = gpu_sim::transfer_time(device.spec(), signal.size_bytes());
         let streams = ExecStreams::on_device(device, self.num_streams);
 
+        let t0 = std::time::Instant::now();
         let mut prep = self.prepare(device, &signal, seed, &streams);
+        let t1 = std::time::Instant::now();
         self.run_batched_ffts(device, &mut [&mut prep], streams.main);
+        let t2 = std::time::Instant::now();
         let (recovered, num_hits) = self.finish(device, &prep, &streams);
+        let t3 = std::time::Instant::now();
 
         let sim_time = device.elapsed();
         let steps = StepBreakdown::from_records(&device.records());
-        CusFftOutput {
+        let output = CusFftOutput {
             recovered,
             sim_time,
             input_transfer,
             steps,
             num_hits,
-        }
+        };
+        let walls = HostPhaseWalls {
+            prepare: (t1 - t0).as_secs_f64(),
+            batched_fft: (t2 - t1).as_secs_f64(),
+            finish: (t3 - t2).as_secs_f64(),
+        };
+        (output, walls)
     }
 
     /// Front half of the pipeline (steps 1-2): comb mask, permutations,

@@ -66,6 +66,15 @@ impl ServeRequest {
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
     /// Worker threads (each owns a private stream family). Must be ≥ 1.
+    ///
+    /// Workers are *orchestration* threads: the compute inside each
+    /// request (block execution, batched FFT rows, CPU baselines) runs on
+    /// the single process-wide host pool behind the vendored `rayon`
+    /// (sized by `CUSFFT_HOST_THREADS`, default `num_cpus` capped at 16).
+    /// `workers × pool threads` therefore never multiplies into
+    /// oversubscription — all workers' parallel calls queue on the same
+    /// pool — so `workers` should be sized for stream-overlap shape
+    /// (number of independent geometry groups), not for host cores.
     pub workers: usize,
     /// LRU bound on the plan cache.
     pub cache_capacity: usize,
@@ -168,7 +177,11 @@ impl ServeEngine {
 
         // Each worker executes its groups on a private device, so op
         // recording needs no synchronisation and the merged timeline is
-        // independent of thread interleaving.
+        // independent of thread interleaving. The workers themselves are
+        // cheap std threads: their inner `par_*` compute shares the one
+        // global host pool (see `ServeConfig::workers`), which also keeps
+        // results deterministic — the pool's chunking is independent of
+        // how many serve workers are in flight.
         let worker_outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter()

@@ -1,16 +1,31 @@
 //! The simulated device: kernel launches, transfers, streams, and the
 //! simulated clock.
 //!
-//! Kernels execute *functionally* on the host (blocks in parallel via
-//! rayon) while a sampled subset of blocks is traced for the cost model.
-//! Two launch shapes cover every kernel in the paper:
+//! Kernels execute *functionally* on the host — thread-block chunks run
+//! concurrently on the shared work-stealing pool behind the vendored
+//! `rayon` (sized by `CUSFFT_HOST_THREADS`; `=1` is the sequential
+//! path) — while a sampled subset of blocks is traced for the cost
+//! model. Two launch shapes cover every kernel in the paper:
 //!
 //! * [`GpuDevice::launch_map`] — thread `tid` computes `out[tid] = f(tid)`.
-//!   Safe scatter-free writes; rayon splits the output into disjoint
+//!   Safe scatter-free writes; the pool splits the output into disjoint
 //!   per-block chunks.
 //! * [`GpuDevice::launch_foreach`] — threads read global memory and update
 //!   [`crate::atomic`] arrays; no plain writes. This is the histogram /
 //!   voting shape.
+//!
+//! # Determinism under host parallelism
+//!
+//! Results and the analytic cost timeline are **bit-identical across
+//! pool sizes** (and to sequential execution) by construction:
+//!
+//! * blocks write disjoint output chunks or go through the atomic cells;
+//! * trace sampling is keyed on `block_idx` (`block_idx % sample_every`),
+//!   not on which thread ran the block;
+//! * `par_*` collects block traces positionally, so `finish_launch`
+//!   aggregates them in block order no matter the completion order;
+//! * every launch appends exactly one [`Op`] under the state lock after
+//!   all blocks finish, so op order is the enqueue order.
 //!
 //! Every launch and transfer appends an [`Op`] with its modelled duration
 //! to the timeline; [`GpuDevice::elapsed`] replays the stream schedule and
@@ -261,37 +276,47 @@ impl GpuDevice {
         let out_base = out.base_addr();
         let elem = std::mem::size_of::<T>();
 
+        // Blocks execute concurrently on the host pool as disjoint output
+        // chunks; traces are collected positionally (by `block_idx`, never
+        // completion order), so `finish_launch` sees the same input as a
+        // sequential run. The traced/untraced decision is hoisted out of
+        // the per-thread loop: the ~(1 − 1/sample_every) of blocks that
+        // are never sampled take a fast path with one reusable stateless
+        // gateway and no trace or store-note bookkeeping.
         let block_traces: Vec<Vec<ThreadTrace>> = out
             .as_mut_slice()
             .par_chunks_mut(block_dim)
             .enumerate()
             .filter_map(|(block_idx, chunk)| {
-                let traced = block_idx % sample_every == 0;
-                let mut traces: Vec<ThreadTrace> = if traced {
-                    vec![ThreadTrace::default(); chunk.len()]
-                } else {
-                    Vec::new()
-                };
-                for (t, slot) in chunk.iter_mut().enumerate() {
-                    let ctx = ThreadCtx {
-                        block_idx: block_idx as u32,
-                        thread_idx: t as u32,
-                        block_dim: cfg.block_dim,
-                        grid_dim: cfg.grid_dim,
-                    };
-                    let tid = ctx.global_id();
-                    let mut gm = if traced {
-                        Gmem::traced(&mut traces[t])
-                    } else {
-                        Gmem::untraced()
-                    };
-                    let v = f(ctx, &mut gm);
-                    gm.note_store(out_base + (tid * elem) as u64, elem as u32, cached_store);
-                    *slot = v;
-                }
-                if traced {
+                if block_idx % sample_every == 0 {
+                    let mut traces = vec![ThreadTrace::default(); chunk.len()];
+                    for (t, slot) in chunk.iter_mut().enumerate() {
+                        let ctx = ThreadCtx {
+                            block_idx: block_idx as u32,
+                            thread_idx: t as u32,
+                            block_dim: cfg.block_dim,
+                            grid_dim: cfg.grid_dim,
+                        };
+                        let tid = ctx.global_id();
+                        let mut gm = Gmem::traced(&mut traces[t]);
+                        let v = f(ctx, &mut gm);
+                        gm.note_store(out_base + (tid * elem) as u64, elem as u32, cached_store);
+                        *slot = v;
+                    }
                     Some(traces)
                 } else {
+                    // Fast path: `note_store` is a no-op without a trace,
+                    // so only the functional store remains.
+                    let mut gm = Gmem::untraced();
+                    for (t, slot) in chunk.iter_mut().enumerate() {
+                        let ctx = ThreadCtx {
+                            block_idx: block_idx as u32,
+                            thread_idx: t as u32,
+                            block_dim: cfg.block_dim,
+                            grid_dim: cfg.grid_dim,
+                        };
+                        *slot = f(ctx, &mut gm);
+                    }
                     None
                 }
             })
@@ -307,33 +332,37 @@ impl GpuDevice {
         F: Fn(ThreadCtx, &mut Gmem<'_>) + Sync,
     {
         let sample_every = sample_every(cfg);
+        // Blocks run concurrently on the host pool; side effects go
+        // through the lock-free `crate::atomic` cells, and the sampled
+        // traces are collected in block order (see `launch_map_inner` for
+        // the hoisted traced/untraced fast path).
         let block_traces: Vec<Vec<ThreadTrace>> = (0..cfg.grid_dim as usize)
             .into_par_iter()
             .filter_map(|block_idx| {
-                let traced = block_idx % sample_every == 0;
-                let mut traces: Vec<ThreadTrace> = if traced {
-                    vec![ThreadTrace::default(); cfg.block_dim as usize]
-                } else {
-                    Vec::new()
-                };
-                #[allow(clippy::needless_range_loop)]
-                for t in 0..cfg.block_dim as usize {
-                    let ctx = ThreadCtx {
-                        block_idx: block_idx as u32,
-                        thread_idx: t as u32,
-                        block_dim: cfg.block_dim,
-                        grid_dim: cfg.grid_dim,
-                    };
-                    let mut gm = if traced {
-                        Gmem::traced(&mut traces[t])
-                    } else {
-                        Gmem::untraced()
-                    };
-                    f(ctx, &mut gm);
-                }
-                if traced {
+                if block_idx % sample_every == 0 {
+                    let mut traces = vec![ThreadTrace::default(); cfg.block_dim as usize];
+                    for (t, trace) in traces.iter_mut().enumerate() {
+                        let ctx = ThreadCtx {
+                            block_idx: block_idx as u32,
+                            thread_idx: t as u32,
+                            block_dim: cfg.block_dim,
+                            grid_dim: cfg.grid_dim,
+                        };
+                        let mut gm = Gmem::traced(trace);
+                        f(ctx, &mut gm);
+                    }
                     Some(traces)
                 } else {
+                    let mut gm = Gmem::untraced();
+                    for t in 0..cfg.block_dim as usize {
+                        let ctx = ThreadCtx {
+                            block_idx: block_idx as u32,
+                            thread_idx: t as u32,
+                            block_dim: cfg.block_dim,
+                            grid_dim: cfg.grid_dim,
+                        };
+                        f(ctx, &mut gm);
+                    }
                     None
                 }
             })

@@ -15,6 +15,13 @@
 //!
 //! The schedule is computed by a deterministic event-driven simulation
 //! over "work remaining" quantities.
+//!
+//! Host-side parallelism never leaks in: launches record ops in enqueue
+//! order regardless of how many pool threads executed their blocks (see
+//! `crate::device` for the contract), [`merge_op_groups`] interleaves
+//! per-worker recordings by position rather than wall-clock arrival, and
+//! the scheduler itself is a pure function of the op list. A timeline is
+//! therefore bit-identical across `CUSFFT_HOST_THREADS` settings.
 
 use serde::{Deserialize, Serialize};
 

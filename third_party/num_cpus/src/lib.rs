@@ -8,9 +8,13 @@ pub fn get() -> usize {
         .unwrap_or(1)
 }
 
-/// Physical core count. `available_parallelism` reports logical CPUs;
-/// without /proc parsing we return the same value, which is exact on
-/// SMT-less hosts and an upper bound elsewhere.
+/// Physical core count — **divergence from the real crate**: this
+/// returns the *logical* CPU count. `available_parallelism` reports
+/// logical CPUs and we do no `/proc` topology parsing, so on SMT hosts
+/// this is up to 2× the true physical count (exact on SMT-less hosts).
+/// Do not size compute-bound pools from this expecting physical cores;
+/// the host execution pool in `third_party/rayon` deliberately sizes
+/// from [`get`] (clamped) and documents the SMT caveat at the consumer.
 pub fn get_physical() -> usize {
     get()
 }

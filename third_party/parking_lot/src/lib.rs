@@ -1,6 +1,7 @@
 //! Offline stand-in for the subset of `parking_lot` this workspace uses:
-//! [`Mutex`] and [`RwLock`] with infallible, non-poisoning lock methods,
-//! backed by `std::sync`. See `third_party/README.md` for the policy.
+//! [`Mutex`], [`RwLock`] and [`Condvar`] with infallible, non-poisoning
+//! methods, backed by `std::sync`. See `third_party/README.md` for the
+//! policy.
 
 /// A mutex whose `lock()` never returns a poison error (a panicked holder
 /// simply passes the data on, like `parking_lot`).
@@ -70,6 +71,48 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable with `parking_lot`'s in-place `wait(&mut guard)`
+/// signature, backed by [`std::sync::Condvar`]. Used by the `rayon`
+/// stand-in's work-stealing pool for job-completion and worker parking.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, atomically releasing and re-acquiring the
+    /// guard's mutex. Unlike `std`, the guard is updated in place (the
+    /// `parking_lot` signature).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY: `guard` is moved out, passed through `std`'s consuming
+        // wait, and the returned (re-locked) guard is written back before
+        // anyone can observe the hole. Neither `wait` nor the poison
+        // recovery can panic, so the double-drop window is unreachable.
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let reacquired = self.inner.wait(owned).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(guard, reacquired);
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +131,25 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_signals_waiter() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut ready = lock.lock();
+            *ready = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        h.join().unwrap();
+        assert!(*ready);
     }
 
     #[test]

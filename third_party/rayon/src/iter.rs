@@ -1,0 +1,648 @@
+//! The indexed parallel-iterator layer over [`crate::pool`].
+//!
+//! Every source is **indexed**: it knows its length and can produce the
+//! items of any contiguous index sub-range on demand ([`
+//! ParallelIterator::drive`]), which is what lets the pool hand disjoint
+//! ranges to different threads while terminal operations reassemble
+//! results **positionally** (by chunk index, never by completion order).
+//! That positional reassembly, plus chunk boundaries that depend only on
+//! the length (see [`crate::pool`]), is the whole determinism story:
+//! `collect`/`for_each` are bit-identical to a sequential run by
+//! construction, and `sum` combines fixed per-chunk partials in chunk
+//! order (identical across pool sizes; for floats this association may
+//! differ from a strict left fold — no workspace hot path sums floats in
+//! parallel).
+//!
+//! Mutable sources (`par_iter_mut`, `par_chunks_mut`, …) hand out
+//! disjoint `&mut` views of the underlying slice reconstructed from a raw
+//! base pointer; soundness rests on the pool delivering disjoint ranges
+//! exactly once, which `pool::chunk_ranges` guarantees.
+
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::Range;
+
+use parking_lot::Mutex;
+
+use crate::pool;
+
+/// Minimum items per chunk for element-wise sources, so tiny parallel
+/// calls don't drown in task bookkeeping. Constant (never derived from
+/// the thread count): part of the determinism contract.
+const ELEMENT_GRAIN: usize = 256;
+
+/// An indexed parallel iterator: the subset of `rayon`'s trait this
+/// workspace uses, executed on the global work-stealing pool.
+pub trait ParallelIterator: Send + Sync + Sized {
+    /// Item type produced for each index.
+    type Item: Send;
+
+    /// Exact number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Minimum chunk granularity (items per task lower bound).
+    fn grain(&self) -> usize {
+        1
+    }
+
+    /// Produces the items of `range` in index order, feeding each to
+    /// `each`. Called from many threads with disjoint ranges; each index
+    /// is driven exactly once per execution.
+    fn drive(&self, range: Range<usize>, each: &mut dyn FnMut(Self::Item));
+
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Keeps the `Some` results of `f`, in index order.
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Send + Sync,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Pairs items positionally with `other` (length = the shorter).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Runs `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        pool::run_range(self.pi_len(), self.grain(), &|range| {
+            self.drive(range, &mut |item| f(item));
+        });
+    }
+
+    /// Collects into `C` (currently `Vec<_>`), preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items. Per-chunk partial sums are combined in chunk
+    /// order; chunking is thread-count independent, so the result is
+    /// identical across pool sizes.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let partials = drive_chunked(&self, |items| items.sum::<S>());
+        partials.into_iter().sum()
+    }
+
+    /// The largest item under a total order, or `None` when empty.
+    fn reduce_with<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let partials = drive_chunked(&self, |items| items.reduce(&f));
+        partials.into_iter().flatten().reduce(&f)
+    }
+}
+
+/// Runs `fold` over each fixed chunk's items, returning the per-chunk
+/// results **in chunk order** regardless of execution interleaving.
+fn drive_chunked<I, R, F>(iter: &I, fold: F) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(&mut dyn Iterator<Item = I::Item>) -> R + Send + Sync,
+{
+    let acc: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    pool::run_range(iter.pi_len(), iter.grain(), &|range| {
+        let start = range.start;
+        let mut items: Vec<I::Item> = Vec::with_capacity(range.len());
+        iter.drive(range, &mut |item| items.push(item));
+        let r = fold(&mut items.into_iter());
+        acc.lock().push((start, r));
+    });
+    let mut parts = acc.into_inner();
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    parts.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Conversion from a parallel iterator, `rayon`'s `FromParallelIterator`.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from the iterator's items in index order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let chunks = drive_chunked(&iter, |items| items.collect::<Vec<T>>());
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn grain(&self) -> usize {
+        self.base.grain()
+    }
+
+    fn drive(&self, range: Range<usize>, each: &mut dyn FnMut(R)) {
+        self.base.drive(range, &mut |item| each((self.f)(item)));
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn grain(&self) -> usize {
+        self.base.grain()
+    }
+
+    fn drive(&self, range: Range<usize>, each: &mut dyn FnMut(Self::Item)) {
+        let mut idx = range.start;
+        self.base.drive(range, &mut |item| {
+            each((idx, item));
+            idx += 1;
+        });
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+pub struct FilterMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for FilterMap<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> Option<R> + Send + Sync,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn grain(&self) -> usize {
+        self.base.grain()
+    }
+
+    fn drive(&self, range: Range<usize>, each: &mut dyn FnMut(R)) {
+        self.base.drive(range, &mut |item| {
+            if let Some(r) = (self.f)(item) {
+                each(r);
+            }
+        });
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    fn grain(&self) -> usize {
+        self.a.grain().max(self.b.grain())
+    }
+
+    fn drive(&self, range: Range<usize>, each: &mut dyn FnMut(Self::Item)) {
+        // Buffer the left side for this (bounded) range, then pair while
+        // driving the right side over the same indices.
+        let mut left: Vec<A::Item> = Vec::with_capacity(range.len());
+        self.a.drive(range.clone(), &mut |item| left.push(item));
+        let mut left = left.into_iter();
+        self.b.drive(range, &mut |b_item| {
+            let a_item = left.next().expect("zip sides agree on range length");
+            each((a_item, b_item));
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// Parallel iterator over `Range<usize>` (`(0..n).into_par_iter()`).
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    fn grain(&self) -> usize {
+        1
+    }
+
+    fn drive(&self, range: Range<usize>, each: &mut dyn FnMut(usize)) {
+        for i in range {
+            each(self.start + i);
+        }
+    }
+}
+
+/// Parallel iterator over shared slice elements (`par_iter`).
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn grain(&self) -> usize {
+        ELEMENT_GRAIN
+    }
+
+    fn drive(&self, range: Range<usize>, each: &mut dyn FnMut(&'a T)) {
+        for item in &self.slice[range] {
+            each(item);
+        }
+    }
+}
+
+/// Parallel iterator over exclusive slice elements (`par_iter_mut`).
+pub struct SliceIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: distinct indices alias distinct elements; the pool drives
+// disjoint ranges, so concurrent `drive` calls hand out non-overlapping
+// `&mut T`. `T: Send` lets those borrows cross threads.
+unsafe impl<T: Send> Send for SliceIterMut<'_, T> {}
+unsafe impl<T: Send> Sync for SliceIterMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    fn grain(&self) -> usize {
+        ELEMENT_GRAIN
+    }
+
+    fn drive(&self, range: Range<usize>, each: &mut dyn FnMut(&'a mut T)) {
+        for i in range {
+            debug_assert!(i < self.len);
+            // SAFETY: `i < len`, and disjoint ranges make the borrows
+            // non-overlapping (see the impl-level SAFETY note).
+            each(unsafe { &mut *self.ptr.add(i) });
+        }
+    }
+}
+
+/// Parallel iterator over owned `Vec` elements (`into_par_iter`).
+pub struct VecIntoIter<T> {
+    vec: ManuallyDrop<Vec<T>>,
+}
+
+// SAFETY: each element is moved out at most once (disjoint ranges), so
+// this behaves like sending the elements themselves.
+unsafe impl<T: Send> Send for VecIntoIter<T> {}
+unsafe impl<T: Send> Sync for VecIntoIter<T> {}
+
+impl<T: Send> ParallelIterator for VecIntoIter<T> {
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn grain(&self) -> usize {
+        1
+    }
+
+    fn drive(&self, range: Range<usize>, each: &mut dyn FnMut(T)) {
+        let base = self.vec.as_ptr();
+        for i in range {
+            debug_assert!(i < self.vec.len());
+            // SAFETY: disjoint ranges driven exactly once move each
+            // element out exactly once; `Drop` below never re-drops
+            // elements (it only frees the allocation).
+            each(unsafe { std::ptr::read(base.add(i)) });
+        }
+    }
+}
+
+impl<T> Drop for VecIntoIter<T> {
+    fn drop(&mut self) {
+        // Elements were moved out by `drive` (on the no-panic path, all
+        // of them); free only the allocation. If a parallel call
+        // panicked, not-yet-driven elements leak — safe, and matches
+        // rayon's abort-on-propagation spirit.
+        unsafe {
+            self.vec.set_len(0);
+            ManuallyDrop::drop(&mut self.vec);
+        }
+    }
+}
+
+/// Shared chunk views (`par_chunks` / `par_chunks_exact`).
+pub struct ChunksIter<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+    /// Number of chunks exposed (excludes the remainder for `_exact`).
+    count: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+
+    fn pi_len(&self) -> usize {
+        self.count
+    }
+
+    fn grain(&self) -> usize {
+        1
+    }
+
+    fn drive(&self, range: Range<usize>, each: &mut dyn FnMut(&'a [T])) {
+        for c in range {
+            let start = c * self.chunk;
+            let end = (start + self.chunk).min(self.slice.len());
+            each(&self.slice[start..end]);
+        }
+    }
+}
+
+/// Exclusive chunk views (`par_chunks_mut` / `par_chunks_exact_mut`).
+pub struct ChunksIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    /// Number of chunks exposed (excludes the remainder for `_exact`).
+    count: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: chunk `c` covers indices `c*chunk .. min((c+1)*chunk, len)`;
+// distinct chunk indices are disjoint element ranges, and the pool
+// drives disjoint chunk-index ranges.
+unsafe impl<T: Send> Send for ChunksIterMut<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksIterMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for ChunksIterMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn pi_len(&self) -> usize {
+        self.count
+    }
+
+    fn grain(&self) -> usize {
+        1
+    }
+
+    fn drive(&self, range: Range<usize>, each: &mut dyn FnMut(&'a mut [T])) {
+        for c in range {
+            let start = c * self.chunk;
+            let end = (start + self.chunk).min(self.len);
+            debug_assert!(start < end);
+            // SAFETY: in-bounds and disjoint across chunk indices (see
+            // the impl-level SAFETY note).
+            each(unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry-point traits (the `rayon::prelude` surface)
+// ---------------------------------------------------------------------
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator over the pool.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIntoIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecIntoIter<T> {
+        VecIntoIter {
+            vec: ManuallyDrop::new(self),
+        }
+    }
+}
+
+/// `par_iter()` for shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (a shared reference).
+    type Item: Send;
+    /// Borrowing parallel iterator over the pool.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `par_iter_mut()` for exclusive references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (an exclusive reference).
+    type Item: Send;
+    /// Mutably borrowing parallel iterator over the pool.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// Chunked views and parallel sorts on slices.
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over `chunk_size`-sized shared chunks (last may
+    /// be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T>;
+    /// Parallel iterator over `chunk_size`-sized exclusive chunks (last
+    /// may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksIterMut<'_, T>;
+    /// Like [`ParallelSlice::par_chunks`], dropping the remainder.
+    fn par_chunks_exact(&self, chunk_size: usize) -> ChunksIter<'_, T>;
+    /// Like [`ParallelSlice::par_chunks_mut`], dropping the remainder.
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ChunksIterMut<'_, T>;
+    /// Unstable sort by comparator. Sequential in this stand-in: the
+    /// workspace's sorts sit outside the launch hot paths, and a serial
+    /// sort is trivially bit-stable across pool sizes.
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering;
+    /// Unstable natural-order sort (sequential, as above).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ChunksIter {
+            slice: self,
+            chunk: chunk_size,
+            count: self.len().div_ceil(chunk_size),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksIterMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ChunksIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk: chunk_size,
+            count: self.len().div_ceil(chunk_size),
+            _marker: PhantomData,
+        }
+    }
+
+    fn par_chunks_exact(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ChunksIter {
+            slice: self,
+            chunk: chunk_size,
+            count: self.len() / chunk_size,
+        }
+    }
+
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ChunksIterMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ChunksIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk: chunk_size,
+            count: self.len() / chunk_size,
+            _marker: PhantomData,
+        }
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering,
+    {
+        self.sort_unstable_by(compare);
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+}

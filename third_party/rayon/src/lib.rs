@@ -1,150 +1,158 @@
-//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//! Offline stand-in for the subset of the `rayon` API this workspace
+//! uses, executed on a real **host work-stealing thread pool**.
 //!
 //! The build container has no crates.io access, so the workspace vendors
-//! this shim (see `third_party/README.md`). Every `par_*` entry point
-//! returns the corresponding **sequential** standard-library iterator:
-//! all downstream adaptors (`map`, `enumerate`, `filter_map`, `collect`,
-//! …) are ordinary [`Iterator`] methods, results are bit-identical to a
-//! sequential run, and — this host being single-core — nothing is lost.
+//! this shim (see `third_party/README.md`). Earlier revisions lowered
+//! every `par_*` entry point to a sequential std iterator; this version
+//! executes them on a pool of persistent `std::thread` workers with
+//! per-job chunked deques and chunk stealing (see [`mod@pool`]), so
+//! `gpu-sim` thread-block chunks, the batched-FFT rows, and the CPU
+//! baselines genuinely run concurrently on multi-core hosts.
 //!
-//! Functional-correctness note: everything in this repo that runs under
-//! `par_*` writes disjoint chunks or uses the `gpu-sim` atomic cells, so
-//! sequential execution is an observational no-op apart from wall-clock
-//! time on multi-core hosts. Real concurrency in the serving layer comes
-//! from `std::thread` in `cusfft::serve`, not from this shim.
+//! # Determinism contract
+//!
+//! Results are **bit-identical to sequential execution** for everything
+//! this workspace runs under `par_*`:
+//!
+//! * Chunk boundaries are a pure function of the job length — never of
+//!   the pool size or scheduling — and terminal operations reassemble
+//!   per-chunk results positionally (by chunk index, never completion
+//!   order).
+//! * Mutable sources hand disjoint sub-slices to the pool; shared-state
+//!   kernels go through the `gpu-sim` atomic cells.
+//! * `sum` combines fixed per-chunk partials in chunk order: identical
+//!   across pool sizes; for floats the association may differ from a
+//!   strict sequential left fold (no workspace hot path does this).
+//! * `par_sort_unstable*` stay sequential in this stand-in.
+//!
+//! # Sizing
+//!
+//! The pool defaults to `num_cpus::get().min(16)` logical CPUs (the
+//! vendored `num_cpus::get_physical()` also reports the *logical* count,
+//! so the clamp stands in for SMT awareness). Set `CUSFFT_HOST_THREADS`
+//! to override; `CUSFFT_HOST_THREADS=1` falls back to the inline
+//! sequential path (the pre-pool behaviour, bit-for-bit). Benchmarks and
+//! tests can pin a size per scope with [`ThreadPoolBuilder`] +
+//! [`ThreadPool::install`] — note the override is process-wide for the
+//! duration of the installed closure.
 
+pub mod iter;
+pub mod pool;
+
+pub use pool::current_num_threads;
+
+/// The `rayon::prelude` surface the workspace imports.
 pub mod prelude {
-    /// `into_par_iter()` for owned collections and ranges: the sequential
-    /// [`IntoIterator`] equivalent.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential stand-in for `rayon`'s `into_par_iter`.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-    /// `par_iter()` for shared references.
-    pub trait IntoParallelRefIterator<'a> {
-        /// Item iterator type.
-        type Iter: Iterator;
-        /// Sequential stand-in for `rayon`'s `par_iter`.
-        fn par_iter(&'a self) -> Self::Iter;
-    }
-
-    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
-        type Iter = std::slice::Iter<'a, T>;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
-        type Iter = std::slice::Iter<'a, T>;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    /// `par_iter_mut()` for exclusive references.
-    pub trait IntoParallelRefMutIterator<'a> {
-        /// Item iterator type.
-        type Iter: Iterator;
-        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
-        fn par_iter_mut(&'a mut self) -> Self::Iter;
-    }
-
-    impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
-        type Iter = std::slice::IterMut<'a, T>;
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            self.iter_mut()
-        }
-    }
-
-    impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
-        type Iter = std::slice::IterMut<'a, T>;
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            self.iter_mut()
-        }
-    }
-
-    /// Chunked views and parallel sorts on slices.
-    pub trait ParallelSlice<T> {
-        /// Sequential stand-in for `par_chunks`.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-        /// Sequential stand-in for `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-        /// Sequential stand-in for `par_chunks_exact`.
-        fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T>;
-        /// Sequential stand-in for `par_chunks_exact_mut`.
-        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T>;
-        /// Sequential stand-in for `par_sort_unstable_by`.
-        fn par_sort_unstable_by<F>(&mut self, compare: F)
-        where
-            F: FnMut(&T, &T) -> std::cmp::Ordering;
-        /// Sequential stand-in for `par_sort_unstable`.
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-
-        fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T> {
-            self.chunks_exact(chunk_size)
-        }
-
-        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T> {
-            self.chunks_exact_mut(chunk_size)
-        }
-
-        fn par_sort_unstable_by<F>(&mut self, compare: F)
-        where
-            F: FnMut(&T, &T) -> std::cmp::Ordering,
-        {
-            self.sort_unstable_by(compare);
-        }
-
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord,
-        {
-            self.sort_unstable();
-        }
-    }
-
-    pub use IntoParallelIterator as _;
-    pub use IntoParallelRefIterator as _;
-    pub use IntoParallelRefMutIterator as _;
-    pub use ParallelSlice as _;
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice,
+    };
 }
 
-/// Runs both closures (sequentially here) and returns their results —
-/// `rayon::join` has the same signature.
+/// Runs both closures, potentially in parallel on the pool, and returns
+/// their results — `rayon::join`'s signature and semantics (`a` runs on
+/// the calling thread; `b` may be stolen).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    {
+        let cell_a = parking_lot::Mutex::new((Some(a), &mut ra));
+        let cell_b = parking_lot::Mutex::new((Some(b), &mut rb));
+        pool::run_range(2, 1, &|range| {
+            for side in range {
+                if side == 0 {
+                    let mut g = cell_a.lock();
+                    let f = g.0.take().expect("join side runs once");
+                    *g.1 = Some(f());
+                } else {
+                    let mut g = cell_b.lock();
+                    let f = g.0.take().expect("join side runs once");
+                    *g.1 = Some(f());
+                }
+            }
+        });
+    }
+    (
+        ra.expect("join left side completed"),
+        rb.expect("join right side completed"),
+    )
 }
 
-/// Number of "worker threads": 1 for the sequential shim.
-pub fn current_num_threads() -> usize {
-    1
+/// Builder for a scoped pool-size override — the `rayon`-compatible
+/// escape hatch used by the wall-clock benchmarks and the host-parallel
+/// determinism tests.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (auto) size.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Requests `n` threads (0 = auto).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the handle. Never fails in this stand-in (the error type
+    /// exists for signature compatibility).
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that pins the pool size inside [`ThreadPool::install`].
+///
+/// Unlike real rayon this does not own separate worker threads: workers
+/// are global, and `install` sets a **process-wide** size override for
+/// the duration of the closure (overlapping installs from other threads
+/// queue on a lock). Intended for benchmarks and determinism tests.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with the pool size pinned to this handle's thread count
+    /// (`1` = inline sequential execution).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let n = if self.num_threads == 0 {
+            pool::effective_threads()
+        } else {
+            self.num_threads
+        };
+        pool::with_override(n, f)
+    }
+
+    /// The pinned thread count (0 = auto).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            pool::effective_threads()
+        } else {
+            self.num_threads
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    fn pinned(n: usize) -> crate::ThreadPool {
+        crate::ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
     fn par_iter_adaptors_behave_like_std() {
@@ -178,5 +186,70 @@ mod tests {
     fn join_returns_both() {
         let (a, b) = super::join(|| 1, || "x");
         assert_eq!((a, b), (1, "x"));
+    }
+
+    #[test]
+    fn results_identical_across_pool_sizes() {
+        let n = 100_000usize;
+        let reference: Vec<u64> = pinned(1).install(|| {
+            (0..n).into_par_iter().map(|i| (i as u64).wrapping_mul(2654435761)).collect()
+        });
+        for threads in [2, 4, 8] {
+            let got: Vec<u64> = pinned(threads).install(|| {
+                (0..n).into_par_iter().map(|i| (i as u64).wrapping_mul(2654435761)).collect()
+            });
+            assert_eq!(got, reference, "pool size {threads}");
+        }
+    }
+
+    #[test]
+    fn filter_map_collect_preserves_index_order() {
+        let v: Vec<u32> = (0..50_000).collect();
+        let seq: Vec<u32> = v.iter().filter(|&&x| x % 7 == 0).copied().collect();
+        for threads in [1, 2, 8] {
+            let par: Vec<u32> = pinned(threads).install(|| {
+                v.par_iter()
+                    .filter_map(|&x| if x % 7 == 0 { Some(x) } else { None })
+                    .collect()
+            });
+            assert_eq!(par, seq, "pool size {threads}");
+        }
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_owned_items() {
+        let v: Vec<String> = (0..1000).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = pinned(4).install(|| {
+            v.into_par_iter().enumerate().map(|(i, s)| i + s.len()).collect()
+        });
+        assert_eq!(lens.len(), 1000);
+        assert_eq!(lens[999], 999 + 3);
+    }
+
+    #[test]
+    fn zip_pairs_positionally() {
+        let mut dst = vec![0u64; 10_000];
+        let src: Vec<u64> = (0..10_000).collect();
+        pinned(4).install(|| {
+            dst.par_chunks_mut(128)
+                .zip(src.par_chunks(128))
+                .for_each(|(d, s)| d.copy_from_slice(s));
+        });
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn par_iter_mut_reaches_every_element() {
+        let mut v = vec![1u32; 4096];
+        pinned(4).install(|| {
+            v.par_iter_mut().for_each(|x| *x += 1);
+        });
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn env_or_default_sizing_is_sane() {
+        let n = crate::current_num_threads();
+        assert!((1..=32).contains(&n));
     }
 }

@@ -1,0 +1,440 @@
+//! The host work-stealing thread pool behind every `par_*` entry point.
+//!
+//! # Architecture
+//!
+//! A single **global pool** of persistent workers (`std::thread`) is
+//! created lazily on the first parallel call and shared by the whole
+//! process — `gpu-sim` kernel launches, the CPU baselines, and every
+//! `cusfft::serve` worker all draw from the same pool, so serve workers ×
+//! pool threads can never multiply into oversubscription.
+//!
+//! A parallel call ([`run_range`]) splits its index space `0..len` into
+//! contiguous **chunks** and publishes them as a [`JobState`]: one deque
+//! of chunks per executor slot, dealt round-robin. Every executor
+//! (pool worker or the calling thread, which always participates) pops
+//! from the *front* of its own deque and, when empty, **steals** from the
+//! *back* of a sibling's — the classic work-stealing discipline, here at
+//! chunk granularity with the vendored `parking_lot` primitives guarding
+//! each deque.
+//!
+//! # Determinism contract
+//!
+//! Chunk boundaries are a pure function of `(len, grain)` — **never** of
+//! the thread count — and chunks are disjoint, so any reduction that
+//! combines per-chunk results in chunk order is bit-identical across pool
+//! sizes, including the inline sequential path used when the effective
+//! size is 1. Callers (the iterator layer in `crate::iter`) must only
+//! combine positionally; they must never observe completion order.
+//!
+//! # Sizing
+//!
+//! The pool defaults to `num_cpus::get().min(16)` threads. Note the
+//! vendored `num_cpus::get_physical()` **also** reports the logical CPU
+//! count (it cannot see SMT topology), so `get()` is used directly and
+//! the clamp guards against wide SMT machines where logical count ≫
+//! physical cores would oversubscribe the memory bus. Override with
+//! `CUSFFT_HOST_THREADS` (`=1` forces the sequential inline path), or
+//! per-scope with [`crate::ThreadPool::install`].
+//!
+//! # Nested parallelism & deadlock freedom
+//!
+//! A worker executing a chunk may itself issue a parallel call (e.g. the
+//! PsFFT outer loop calls the parallel filter). Waiters never block while
+//! their job still has unclaimed chunks — they execute them — and every
+//! claimed chunk runs to completion on its executor, so the deepest
+//! nested job always makes progress and completion signals propagate up.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Hard cap on pool threads (see module docs: SMT caveat).
+const MAX_POOL_THREADS: usize = 16;
+
+/// Upper bound on threads an explicit [`crate::ThreadPoolBuilder`] may
+/// request (tests pin sizes above the host's CPU count).
+const MAX_INSTALL_THREADS: usize = 32;
+
+/// Fixed chunk-count target. Chunking depends only on the job length and
+/// grain — never on the thread count — which is what makes per-chunk
+/// reductions bit-identical across pool sizes.
+const TARGET_CHUNKS: usize = 64;
+
+/// Executor slots per job: one per possible worker plus one shared
+/// "injector" slot for external (non-pool) calling threads.
+const SLOTS: usize = MAX_INSTALL_THREADS + 1;
+const INJECTOR_SLOT: usize = SLOTS - 1;
+
+/// One published parallel-for: per-slot chunk deques plus completion
+/// tracking. Lives in the global active-job list while chunks remain.
+struct JobState {
+    /// Chunk deques, one per executor slot. Owners pop the front; thieves
+    /// pop the back.
+    deques: Vec<Mutex<VecDeque<Range<usize>>>>,
+    /// Chunks not yet finished (claimed-and-running chunks count).
+    remaining: AtomicUsize,
+    /// The caller's task, lifetime-erased. Valid until `remaining` hits 0:
+    /// `run_range` does not return before then, and no executor touches
+    /// the reference after decrementing for its last chunk.
+    task: &'static (dyn Fn(Range<usize>) + Sync),
+    /// First panic payload from any chunk, rethrown on the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Completion signal (guards nothing; pairs with `remaining`).
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+struct Pool {
+    /// Active jobs in submission order; workers scan this for chunks.
+    jobs: Mutex<Vec<Arc<JobState>>>,
+    /// Wakes parked workers when a job arrives.
+    work_cv: Condvar,
+    /// Worker threads spawned so far (grows on demand, bounded by
+    /// `MAX_INSTALL_THREADS`).
+    spawned: AtomicUsize,
+}
+
+thread_local! {
+    /// This thread's executor slot: `Some(i)` for pool worker `i`,
+    /// `None` for external threads (which use the injector slot).
+    static WORKER_SLOT: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Process-wide pool-size override installed by
+/// [`crate::ThreadPool::install`] (0 = no override).
+static OVERRIDE_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Serialises `install` scopes so overrides cannot interleave.
+static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        jobs: Mutex::new(Vec::new()),
+        work_cv: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+/// Pool size from the environment / host, ignoring any install override.
+fn configured_threads() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        match std::env::var("CUSFFT_HOST_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) => n.clamp(1, MAX_INSTALL_THREADS),
+            // `num_cpus::get()` (logical CPUs): the vendored
+            // `get_physical()` cannot see SMT topology and reports the
+            // same logical count, so clamp instead of trusting it.
+            None => num_cpus::get().clamp(1, MAX_POOL_THREADS),
+        }
+    })
+}
+
+/// The effective parallelism for calls issued right now.
+pub(crate) fn effective_threads() -> usize {
+    match OVERRIDE_THREADS.load(Ordering::Acquire) {
+        0 => configured_threads(),
+        n => n,
+    }
+}
+
+/// Installs a process-wide override of the pool size for the duration of
+/// `f`. Serialised: concurrent installs queue. Supports `rayon`'s
+/// `ThreadPool::install` shape for benchmarks and determinism tests.
+pub(crate) fn with_override<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let threads = threads.clamp(1, MAX_INSTALL_THREADS);
+    let _scope = INSTALL_LOCK.lock();
+    let prev = OVERRIDE_THREADS.swap(threads, Ordering::Release);
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE_THREADS.store(self.0, Ordering::Release);
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Splits `0..len` into chunks of `max(grain, ceil(len/TARGET_CHUNKS))`
+/// items. Pure in `(len, grain)` — see the determinism contract.
+pub(crate) fn chunk_ranges(len: usize, grain: usize) -> impl Iterator<Item = Range<usize>> {
+    let step = len.div_ceil(TARGET_CHUNKS).max(grain).max(1);
+    (0..len.div_ceil(step)).map(move |c| {
+        let start = c * step;
+        start..(start + step).min(len)
+    })
+}
+
+/// Executes `task` once for every chunk of `0..len`, in parallel on the
+/// global pool (the caller participates). Returns when every chunk has
+/// finished; panics from chunks are rethrown here. With an effective
+/// pool size of 1 the chunks run inline, in order, on the caller.
+pub(crate) fn run_range(len: usize, grain: usize, task: &(dyn Fn(Range<usize>) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    let threads = effective_threads();
+    let mut chunks = chunk_ranges(len, grain);
+    if threads == 1 {
+        for c in chunks {
+            task(c);
+        }
+        return;
+    }
+    let first = chunks.next().expect("len > 0 yields at least one chunk");
+    let mut rest = chunks.peekable();
+    if rest.peek().is_none() {
+        // Single chunk: nothing to distribute.
+        task(first);
+        return;
+    }
+
+    ensure_workers(threads - 1);
+    let my_slot = WORKER_SLOT.with(|s| s.get()).unwrap_or(INJECTOR_SLOT);
+
+    // Deal chunks round-robin over the participating slots: this caller's
+    // slot plus the first `threads - 1` worker slots.
+    let mut slots: Vec<usize> = (0..threads - 1).collect();
+    if !slots.contains(&my_slot) {
+        slots.insert(0, my_slot);
+    }
+    let mut deques: Vec<VecDeque<Range<usize>>> = (0..SLOTS).map(|_| VecDeque::new()).collect();
+    deques[my_slot].push_back(first);
+    let mut count = 1usize;
+    for (i, c) in rest.enumerate() {
+        deques[slots[(i + 1) % slots.len()]].push_back(c);
+        count += 1;
+    }
+
+    let job = Arc::new(JobState {
+        deques: deques.into_iter().map(Mutex::new).collect(),
+        remaining: AtomicUsize::new(count),
+        // SAFETY: lifetime erasure; see `JobState::task` for why the
+        // borrow outlives every dereference.
+        task: unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(Range<usize>) + Sync),
+                &'static (dyn Fn(Range<usize>) + Sync),
+            >(task)
+        },
+        panic: Mutex::new(None),
+        done_lock: Mutex::new(()),
+        done_cv: Condvar::new(),
+    });
+
+    // Publish, wake workers, then work the job down ourselves.
+    {
+        let mut jobs = pool().jobs.lock();
+        jobs.push(job.clone());
+        pool().work_cv.notify_all();
+    }
+    loop {
+        match take_chunk(&job, my_slot) {
+            Some(chunk) => execute_chunk(&job, chunk),
+            None => {
+                let mut done = job.done_lock.lock();
+                if job.remaining.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                job.done_cv.wait(&mut done);
+            }
+        }
+    }
+    // Unpublish (usually already gone: the finishing executor culls it).
+    pool().jobs.lock().retain(|j| !Arc::ptr_eq(j, &job));
+    let payload = job.panic.lock().take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Claims one chunk of `job`: own deque front first, then steal from the
+/// back of the other slots, scanning from `my_slot + 1` circularly.
+fn take_chunk(job: &JobState, my_slot: usize) -> Option<Range<usize>> {
+    if let Some(c) = job.deques[my_slot].lock().pop_front() {
+        return Some(c);
+    }
+    for off in 1..SLOTS {
+        let victim = (my_slot + off) % SLOTS;
+        if let Some(c) = job.deques[victim].lock().pop_back() {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Runs one claimed chunk to completion, records any panic, and signals
+/// the caller when this was the job's last outstanding chunk.
+fn execute_chunk(job: &JobState, chunk: Range<usize>) {
+    // `remaining > 0` (we hold an undecremented claim), so the caller of
+    // `run_range` is still blocked and the borrow behind `task` is alive.
+    let task = job.task;
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(chunk)));
+    if let Err(payload) = result {
+        let mut slot = job.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+    if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Cull the drained job so workers stop scanning it, then wake the
+        // caller. Taking `done_lock` orders the notify after the caller's
+        // `remaining` check, so the wakeup cannot be lost.
+        pool().jobs.lock().retain(|j| !std::ptr::eq(Arc::as_ptr(j), job));
+        let _g = job.done_lock.lock();
+        job.done_cv.notify_all();
+    }
+}
+
+/// Grows the worker set to at least `n` persistent threads.
+fn ensure_workers(n: usize) {
+    let n = n.min(MAX_INSTALL_THREADS);
+    let p = pool();
+    loop {
+        let cur = p.spawned.load(Ordering::Acquire);
+        if cur >= n {
+            return;
+        }
+        if p.spawned
+            .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            continue;
+        }
+        let slot = cur;
+        std::thread::Builder::new()
+            .name(format!("cusfft-host-pool-{slot}"))
+            .spawn(move || worker_loop(slot))
+            .expect("spawning host pool worker");
+    }
+}
+
+/// Persistent worker: claim a chunk from any active job (own slot's deque
+/// first), execute it, repeat; park when no work is published.
+fn worker_loop(slot: usize) {
+    WORKER_SLOT.with(|s| s.set(Some(slot)));
+    let p = pool();
+    loop {
+        let job = {
+            let mut jobs = p.jobs.lock();
+            loop {
+                if let Some(j) = jobs.iter().find(|j| has_chunks(j)) {
+                    break Some(j.clone());
+                }
+                p.work_cv.wait(&mut jobs);
+            }
+        };
+        if let Some(job) = job {
+            while let Some(chunk) = take_chunk(&job, slot) {
+                execute_chunk(&job, chunk);
+            }
+        }
+    }
+}
+
+fn has_chunks(job: &JobState) -> bool {
+    job.deques.iter().any(|d| !d.lock().is_empty())
+}
+
+/// The number of threads parallel work is currently spread over.
+pub fn current_num_threads() -> usize {
+    effective_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunks_cover_exactly_once() {
+        for len in [1usize, 7, 64, 65, 1000, 1 << 16] {
+            let mut seen = vec![0u8; len];
+            for r in chunk_ranges(len, 1) {
+                for i in r {
+                    seen[i] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "len={len}");
+        }
+    }
+
+    #[test]
+    fn chunking_ignores_thread_count() {
+        // The boundaries depend only on (len, grain) — the determinism
+        // contract for per-chunk reductions.
+        let a: Vec<_> = chunk_ranges(100_000, 1).collect();
+        let b: Vec<_> = with_override(8, || chunk_ranges(100_000, 1).collect::<Vec<_>>());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_range_executes_every_index() {
+        let hits: Vec<AtomicU64> = (0..10_000).map(|_| AtomicU64::new(0)).collect();
+        with_override(4, || {
+            run_range(hits.len(), 1, &|r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_jobs_complete() {
+        let total = AtomicU64::new(0);
+        with_override(4, || {
+            run_range(8, 1, &|outer| {
+                for _ in outer {
+                    run_range(64, 1, &|inner| {
+                        total.fetch_add(inner.len() as u64, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 64);
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            with_override(4, || {
+                run_range(100, 1, &|r| {
+                    if r.contains(&37) {
+                        panic!("boom");
+                    }
+                });
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn concurrent_external_callers() {
+        let sums: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let acc = AtomicU64::new(0);
+                        run_range(5000, 1, &|r| {
+                            acc.fetch_add(r.map(|i| i as u64).sum(), Ordering::Relaxed);
+                        });
+                        acc.load(Ordering::Relaxed)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let expect = (0..5000u64).sum::<u64>();
+        assert!(sums.iter().all(|&s| s == expect));
+    }
+}

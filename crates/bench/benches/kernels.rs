@@ -39,13 +39,15 @@ fn bench_perm_filter(c: &mut Criterion) {
     let mut out = DeviceBuffer::zeroed(b);
     perm_filter_partition(
         &device, &signal_buf, &taps_buf, w_pad, w, b, &perm, &mut out, DEFAULT_STREAM,
-    );
+    )
+    .expect("fault-free device");
     let t_part = device.elapsed();
     device.reset_clock();
     let mut out2 = DeviceBuffer::zeroed(b);
     perm_filter_async(
         &device, &signal_buf, &taps_buf, w_pad, w, b, &perm, &mut out2, &streams, DEFAULT_STREAM,
-    );
+    )
+    .expect("fault-free device");
     let t_async = device.elapsed();
     device.reset_clock();
     let _ = perm_filter_atomic(&device, &signal_buf, &taps_buf, w, b, &perm, DEFAULT_STREAM);
@@ -63,7 +65,8 @@ fn bench_perm_filter(c: &mut Criterion) {
             let mut o = DeviceBuffer::zeroed(b);
             perm_filter_partition(
                 &device, &signal_buf, &taps_buf, w_pad, w, b, &perm, &mut o, DEFAULT_STREAM,
-            );
+            )
+            .expect("fault-free device");
             o
         })
     });
@@ -74,7 +77,8 @@ fn bench_perm_filter(c: &mut Criterion) {
             perm_filter_async(
                 &device, &signal_buf, &taps_buf, w_pad, w, b, &perm, &mut o, &streams,
                 DEFAULT_STREAM,
-            );
+            )
+            .expect("fault-free device");
             o
         })
     });

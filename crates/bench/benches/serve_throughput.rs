@@ -27,6 +27,7 @@ fn bench_serve(c: &mut Criterion) {
             ServeConfig {
                 workers,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         );
         // Deterministic simulated numbers, printed once per config.

@@ -203,7 +203,8 @@ pub fn filter_ablation(log2_n: u32, k: usize, seed: u64) -> FilterAblation {
     let mut out = DeviceBuffer::zeroed(b);
     perm_filter_partition(
         &device, &signal, &taps_buf, w_pad, w, b, &perm, &mut out, DEFAULT_STREAM,
-    );
+    )
+    .expect("fault-free device");
     let partition = device.elapsed();
 
     device.reset_clock();
@@ -211,7 +212,8 @@ pub fn filter_ablation(log2_n: u32, k: usize, seed: u64) -> FilterAblation {
     let mut out2 = DeviceBuffer::zeroed(b);
     perm_filter_async(
         &device, &signal, &taps_buf, w_pad, w, b, &perm, &mut out2, &streams, DEFAULT_STREAM,
-    );
+    )
+    .expect("fault-free device");
     let async_layout = device.elapsed();
 
     FilterAblation {
@@ -258,7 +260,8 @@ pub fn selection_ablation(b: usize, k: usize, seed: u64) -> SelectionAblation {
 
     let device = GpuDevice::new(DeviceSpec::tesla_k20x());
     let bucket_buf = DeviceBuffer::from_host(&buckets);
-    let mags = magnitudes_device(&device, &bucket_buf, DEFAULT_STREAM);
+    let mags = magnitudes_device(&device, &bucket_buf, DEFAULT_STREAM)
+        .expect("fault-free device");
 
     device.reset_clock();
     let _ = sort_select_device(&device, &mags, k, DEFAULT_STREAM);
@@ -580,6 +583,7 @@ pub fn serve_sweep(
                 cusfft::ServeConfig {
                     workers,
                     cache_capacity: 8,
+                    ..cusfft::ServeConfig::default()
                 },
             );
             let report = engine.serve_batch(&requests);

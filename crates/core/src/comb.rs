@@ -3,7 +3,7 @@
 //! [`crate::CusFft`] plan via [`crate::CusFft::with_comb`].
 
 use fft::cplx::Cplx;
-use gpu_sim::{DeviceBuffer, GpuDevice, LaunchConfig, StreamId};
+use gpu_sim::{DeviceBuffer, GpuDevice, GpuError, LaunchConfig, StreamId};
 use rand::Rng;
 use sfft_cpu::CombParams;
 
@@ -24,7 +24,7 @@ pub fn comb_mask_device<R: Rng>(
     comb: &CombParams,
     rng: &mut R,
     stream: StreamId,
-) -> Vec<bool> {
+) -> Result<Vec<bool>, GpuError> {
     let m = comb.comb_size;
     assert!(m > 0 && n.is_multiple_of(m), "comb size {m} must divide n={n}");
     let stride = n / m;
@@ -34,15 +34,15 @@ pub fn comb_mask_device<R: Rng>(
         let tau = rng.gen_range(0..n);
         // Subsample kernel: y[i] = x[(τ + i·n/M) mod n]. The reads stride
         // by n/M — scattered, so they go through the read-only path.
-        let mut sub: DeviceBuffer<Cplx> = DeviceBuffer::zeroed(m);
+        let mut sub: DeviceBuffer<Cplx> = device.try_alloc_zeroed(m, stream)?;
         let cfg = LaunchConfig::for_elements(m, BLOCK);
-        device.launch_map("comb_subsample", cfg, stream, &mut sub, |ctx, gm| {
+        device.try_launch_map("comb_subsample", cfg, stream, &mut sub, |ctx, gm| {
             let i = ctx.global_id();
             gm.ld_ro(signal, (tau + i * stride) % n)
-        });
+        })?;
         // M-point FFT under the cuFFT model.
-        batched_fft_device(device, std::slice::from_mut(&mut sub), m, stream, "cufft_comb");
-        let mags = magnitudes_device(device, &sub, stream);
+        batched_fft_device(device, std::slice::from_mut(&mut sub), m, stream, "cufft_comb")?;
+        let mags = magnitudes_device(device, &sub, stream)?;
         for (s, v) in score.iter_mut().zip(mags.as_slice()) {
             *s = s.max(*v);
         }
@@ -54,7 +54,7 @@ pub fn comb_mask_device<R: Rng>(
     for i in selected {
         mask[i] = true;
     }
-    mask
+    Ok(mask)
 }
 
 #[cfg(test)]
@@ -73,7 +73,7 @@ mod tests {
         let device = GpuDevice::k20x();
         let signal = DeviceBuffer::from_host(&s.time);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let mask = comb_mask_device(&device, &signal, n, k, &comb, &mut rng, DEFAULT_STREAM);
+        let mask = comb_mask_device(&device, &signal, n, k, &comb, &mut rng, DEFAULT_STREAM).unwrap();
         for &(f, _) in &s.coords {
             assert!(mask[f % comb.comb_size], "lost residue of f={f}");
         }
@@ -95,7 +95,7 @@ mod tests {
         let device = GpuDevice::k20x();
         let signal = DeviceBuffer::from_host(&s.time);
         let mut grng = rand::rngs::StdRng::seed_from_u64(9);
-        let gpu_mask = comb_mask_device(&device, &signal, n, k, &comb, &mut grng, DEFAULT_STREAM);
+        let gpu_mask = comb_mask_device(&device, &signal, n, k, &comb, &mut grng, DEFAULT_STREAM).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let cpu_mask = sfft_cpu::comb::comb_mask(&s.time, k, &comb, &mut rng);
         // Same RNG stream → same offsets → identical masks.

@@ -9,7 +9,7 @@
 
 use fft::cplx::Cplx;
 use fft::{BatchPlan, Direction, ParallelPlan};
-use gpu_sim::{DeviceBuffer, GpuDevice, StreamId};
+use gpu_sim::{DeviceBuffer, GpuDevice, GpuError, StreamId};
 
 /// Modelled duration of a batched `row_len`-point FFT (`batch` rows) on
 /// `device`.
@@ -31,16 +31,18 @@ pub fn cufft_model_time(device: &GpuDevice, row_len: usize, batch: usize) -> f64
 }
 
 /// Executes a batched in-place forward FFT over `bufs` (each a row of
-/// `row_len` points) and charges a single batched-cuFFT operation.
+/// `row_len` points) and charges a single batched-cuFFT operation. Fails
+/// with a typed device error on an injected launch fault, in which case
+/// no row was transformed (safe to retry).
 pub fn batched_fft_device(
     device: &GpuDevice,
     bufs: &mut [DeviceBuffer<Cplx>],
     row_len: usize,
     stream: StreamId,
     label: &str,
-) {
+) -> Result<(), GpuError> {
     let mut rows: Vec<&mut DeviceBuffer<Cplx>> = bufs.iter_mut().collect();
-    batched_fft_rows(device, &mut rows, row_len, stream, label);
+    batched_fft_rows(device, &mut rows, row_len, stream, label)
 }
 
 /// Like [`batched_fft_device`] but over non-contiguous rows, so callers
@@ -52,17 +54,21 @@ pub fn batched_fft_rows(
     row_len: usize,
     stream: StreamId,
     label: &str,
-) {
+) -> Result<(), GpuError> {
     if rows.is_empty() {
-        return;
+        return Ok(());
     }
+    // Charge (and roll the fault gate) *before* transforming: a faulted
+    // batched FFT must leave every row untouched so a retry does not
+    // double-transform the data in place.
+    let dur = cufft_model_time(device, row_len, rows.len());
+    device.try_charge_device_op(label, dur, stream)?;
     let plan = BatchPlan::new(row_len, 1);
     for buf in rows.iter_mut() {
         assert_eq!(buf.len(), row_len, "row buffer has wrong length");
         plan.process(buf.as_mut_slice(), Direction::Forward);
     }
-    let dur = cufft_model_time(device, row_len, rows.len());
-    device.charge_device_op(label, dur, stream);
+    Ok(())
 }
 
 /// The dense-FFT GPU baseline of Figure 5: full-length cuFFT with a
@@ -130,7 +136,7 @@ mod tests {
                 DeviceBuffer::from_host(&v)
             })
             .collect();
-        batched_fft_device(&dev, &mut bufs, row, DEFAULT_STREAM, "cufft_batched");
+        batched_fft_device(&dev, &mut bufs, row, DEFAULT_STREAM, "cufft_batched").unwrap();
         let plan = Plan::new(row);
         for (r, buf) in bufs.iter().enumerate() {
             let mut expect = vec![ZERO; row];

@@ -2,26 +2,27 @@
 //! the optimized fast k-selection (Algorithm 6).
 
 use fft::cplx::Cplx;
-use gpu_sim::{DevAtomicU32, DeviceBuffer, GpuDevice, LaunchConfig, StreamId};
+use gpu_sim::{DevAtomicU32, DeviceBuffer, GpuDevice, GpuError, LaunchConfig, StreamId};
 
 const BLOCK: u32 = 256;
 
 /// Computes `|Z[b]|²` on the device (the magnitude kernel both cutoff
-/// variants share) and returns the device buffer.
+/// variants share) and returns the device buffer. Fails with a typed
+/// device error on an injected allocation or launch fault.
 pub fn magnitudes_device(
     device: &GpuDevice,
     buckets: &DeviceBuffer<Cplx>,
     stream: StreamId,
-) -> DeviceBuffer<f64> {
+) -> Result<DeviceBuffer<f64>, GpuError> {
     let b = buckets.len();
-    let mut mags: DeviceBuffer<f64> = DeviceBuffer::zeroed(b);
+    let mut mags: DeviceBuffer<f64> = device.try_alloc_zeroed(b, stream)?;
     let cfg = LaunchConfig::for_elements(b, BLOCK);
-    device.launch_map("magnitude", cfg, stream, &mut mags, |ctx, gm| {
+    device.try_launch_map("magnitude", cfg, stream, &mut mags, |ctx, gm| {
         let z = gm.ld(buckets, ctx.global_id());
         gm.flops(3);
         z.norm_sqr()
-    });
-    mags
+    })?;
+    Ok(mags)
 }
 
 /// Modelled duration of a Thrust radix sort-by-key over `b` elements
@@ -41,14 +42,13 @@ pub fn sort_select_device(
     mags: &DeviceBuffer<f64>,
     num: usize,
     stream: StreamId,
-) -> Vec<usize> {
-    let selected = kselect::sort_select(mags.as_slice(), num);
-    device.charge_device_op(
+) -> Result<Vec<usize>, GpuError> {
+    device.try_charge_device_op(
         "cutoff_sort",
         thrust_sort_model_time(device, mags.len()),
         stream,
-    );
-    selected
+    )?;
+    Ok(kselect::sort_select(mags.as_slice(), num))
 }
 
 /// Optimized cutoff: fast k-selection (Algorithm 6). One pass over the
@@ -60,12 +60,12 @@ pub fn fast_select_device(
     mags: &DeviceBuffer<f64>,
     threshold: f64,
     stream: StreamId,
-) -> Vec<usize> {
+) -> Result<Vec<usize>, GpuError> {
     let b = mags.len();
     let out = DevAtomicU32::zeroed(b);
     let cursor = DevAtomicU32::zeroed(1);
     let cfg = LaunchConfig::for_elements(b, BLOCK);
-    device.launch_foreach("cutoff_select", cfg, stream, |ctx, gm| {
+    device.try_launch_foreach("cutoff_select", cfg, stream, |ctx, gm| {
         let tid = ctx.global_id();
         if tid >= b {
             return;
@@ -75,11 +75,11 @@ pub fn fast_select_device(
             let slot = cursor.fetch_add(gm, 0, 1) as usize;
             out.store(gm, slot, tid as u32);
         }
-    });
+    })?;
     let count = cursor.snapshot()[0] as usize;
     let mut sel: Vec<usize> = out.snapshot()[..count].iter().map(|&v| v as usize).collect();
     sel.sort_unstable();
-    sel
+    Ok(sel)
 }
 
 /// Chooses the fast-selection threshold from the bucket magnitudes: a
@@ -90,15 +90,14 @@ pub fn noise_threshold_device(
     mags: &DeviceBuffer<f64>,
     factor: f64,
     stream: StreamId,
-) -> f64 {
-    let t = kselect::noise_floor_threshold(mags.as_slice(), 512, factor);
+) -> Result<f64, GpuError> {
     let spec = device.spec();
-    device.charge_device_op(
+    device.try_charge_device_op(
         "noise_floor",
         spec.launch_overhead_us * 1e-6 + (512.0 * 8.0) / spec.effective_bandwidth(),
         stream,
-    );
-    t
+    )?;
+    Ok(kselect::noise_floor_threshold(mags.as_slice(), 512, factor))
 }
 
 #[cfg(test)]
@@ -128,7 +127,7 @@ mod tests {
     fn magnitude_kernel_computes_norm_sqr() {
         let dev = device();
         let buckets = DeviceBuffer::from_host(&[Cplx::new(3.0, 4.0), Cplx::new(1.0, -1.0)]);
-        let mags = magnitudes_device(&dev, &buckets, DEFAULT_STREAM);
+        let mags = magnitudes_device(&dev, &buckets, DEFAULT_STREAM).unwrap();
         let host = mags.peek();
         assert!((host[0] - 25.0).abs() < 1e-12);
         assert!((host[1] - 2.0).abs() < 1e-12);
@@ -139,12 +138,12 @@ mod tests {
         let dev = device();
         let spikes = [5usize, 100, 731, 1023];
         let buckets = spiky_buckets(2048, &spikes);
-        let mags = magnitudes_device(&dev, &buckets, DEFAULT_STREAM);
+        let mags = magnitudes_device(&dev, &buckets, DEFAULT_STREAM).unwrap();
 
-        let mut by_sort = sort_select_device(&dev, &mags, 4, DEFAULT_STREAM);
+        let mut by_sort = sort_select_device(&dev, &mags, 4, DEFAULT_STREAM).unwrap();
         by_sort.sort_unstable();
-        let thresh = noise_threshold_device(&dev, &mags, 16.0, DEFAULT_STREAM);
-        let by_fast = fast_select_device(&dev, &mags, thresh, DEFAULT_STREAM);
+        let thresh = noise_threshold_device(&dev, &mags, 16.0, DEFAULT_STREAM).unwrap();
+        let by_fast = fast_select_device(&dev, &mags, thresh, DEFAULT_STREAM).unwrap();
 
         assert_eq!(by_sort, spikes.to_vec());
         assert_eq!(by_fast, spikes.to_vec());
@@ -154,7 +153,7 @@ mod tests {
     fn fast_select_is_cheaper_than_sort_on_device_clock() {
         let dev = device();
         let buckets = spiky_buckets(1 << 14, &[3, 9999]);
-        let mags = magnitudes_device(&dev, &buckets, DEFAULT_STREAM);
+        let mags = magnitudes_device(&dev, &buckets, DEFAULT_STREAM).unwrap();
         dev.reset_clock();
         let _ = sort_select_device(&dev, &mags, 2, DEFAULT_STREAM);
         let t_sort = dev.elapsed();
@@ -171,8 +170,8 @@ mod tests {
     fn fast_select_with_low_threshold_returns_superset() {
         let dev = device();
         let buckets = spiky_buckets(256, &[7, 13]);
-        let mags = magnitudes_device(&dev, &buckets, DEFAULT_STREAM);
-        let sel = fast_select_device(&dev, &mags, 0.0, DEFAULT_STREAM);
+        let mags = magnitudes_device(&dev, &buckets, DEFAULT_STREAM).unwrap();
+        let sel = fast_select_device(&dev, &mags, 0.0, DEFAULT_STREAM).unwrap();
         assert_eq!(sel.len(), 256, "threshold 0 selects everything");
     }
 
@@ -180,8 +179,8 @@ mod tests {
     fn empty_selection_when_threshold_too_high() {
         let dev = device();
         let buckets = spiky_buckets(128, &[3]);
-        let mags = magnitudes_device(&dev, &buckets, DEFAULT_STREAM);
-        let sel = fast_select_device(&dev, &mags, 1e12, DEFAULT_STREAM);
+        let mags = magnitudes_device(&dev, &buckets, DEFAULT_STREAM).unwrap();
+        let sel = fast_select_device(&dev, &mags, 1e12, DEFAULT_STREAM).unwrap();
         assert!(sel.is_empty());
     }
 }

@@ -1,0 +1,97 @@
+//! Typed pipeline errors.
+//!
+//! [`CusFftError`] is what the fallible pipeline entry points
+//! (`CusFft::try_execute`, the `prepare`/`run_batched_ffts`/`finish`
+//! stages) and the serving layer report instead of panicking. Device
+//! faults arrive as [`GpuError`]; the two non-device variants cover
+//! malformed requests (rejected before touching the device) and panics
+//! contained by the serving layer's `catch_unwind` boundary.
+
+use gpu_sim::GpuError;
+
+/// A typed, recoverable pipeline failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CusFftError {
+    /// A device operation failed (allocation, transfer, launch, ECC).
+    Gpu(GpuError),
+    /// The request was malformed and never reached the device.
+    BadRequest {
+        /// Human-readable validation failure.
+        reason: String,
+    },
+    /// A panic was caught at an isolation boundary (serve worker or
+    /// request execution); only the affected requests fail.
+    Panic {
+        /// Where the panic was contained, plus its payload if it was a
+        /// string.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for CusFftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CusFftError::Gpu(e) => write!(f, "device error: {e}"),
+            CusFftError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            CusFftError::Panic { context } => write!(f, "panic contained: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for CusFftError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CusFftError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for CusFftError {
+    fn from(e: GpuError) -> Self {
+        CusFftError::Gpu(e)
+    }
+}
+
+/// Renders a caught panic payload for [`CusFftError::Panic`].
+pub(crate) fn panic_context(where_: &str, payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    };
+    format!("{where_}: {msg}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_errors_convert_and_chain() {
+        let e: CusFftError = GpuError::LaunchFailure { kernel: "k".into() }.into();
+        assert!(matches!(e, CusFftError::Gpu(_)));
+        assert!(e.to_string().contains("device error"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn bad_request_displays_reason() {
+        let e = CusFftError::BadRequest {
+            reason: "signal length must match params.n".into(),
+        };
+        assert!(e.to_string().contains("length must match"));
+    }
+
+    #[test]
+    fn panic_context_extracts_strings() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("boom".to_string());
+        let ctx = panic_context("worker 3", payload.as_ref());
+        assert_eq!(ctx, "worker 3: boom");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        assert!(panic_context("w", payload.as_ref()).contains("non-string"));
+    }
+}

@@ -45,6 +45,7 @@
 pub mod comb;
 pub mod cufft;
 pub mod cutoff;
+pub mod error;
 pub mod locate;
 pub mod perm_filter;
 pub mod pipeline;
@@ -54,7 +55,11 @@ pub mod report;
 pub mod serve;
 
 pub use cufft::{batched_fft_device, batched_fft_rows, cufft_dense_baseline, cufft_model_time};
+pub use error::CusFftError;
 pub use pipeline::{CusFft, CusFftOutput, ExecStreams, HostPhaseWalls, Variant};
 pub use plan_cache::{CacheStats, PlanCache, PlanKey};
 pub use report::StepBreakdown;
-pub use serve::{ServeConfig, ServeEngine, ServeReport, ServeRequest, ServeResponse};
+pub use serve::{
+    FaultTally, RequestOutcome, ServeConfig, ServeEngine, ServePath, ServeReport, ServeRequest,
+    ServeResponse,
+};

@@ -3,7 +3,7 @@
 //! score array, and appends frequencies that reach the threshold through
 //! an atomic cursor.
 
-use gpu_sim::{DevAtomicU32, DeviceBuffer, GpuDevice, LaunchConfig, StreamId};
+use gpu_sim::{DevAtomicU32, DeviceBuffer, GpuDevice, GpuError, LaunchConfig, StreamId};
 use sfft_cpu::perm::mul_mod;
 use sfft_cpu::Permutation;
 
@@ -43,7 +43,9 @@ impl LocateState {
     }
 }
 
-/// Runs the location kernel for one location loop.
+/// Runs the location kernel for one location loop. Fails with a typed
+/// device error on an injected launch fault; the voting state is then
+/// untouched (no blocks executed), so a retry re-votes from clean state.
 pub fn locate_device(
     device: &GpuDevice,
     selected: &DeviceBuffer<u32>,
@@ -52,18 +54,18 @@ pub fn locate_device(
     thresh: usize,
     state: &LocateState,
     stream: StreamId,
-) {
+) -> Result<(), GpuError> {
     let n = perm.n;
     let n_div_b = n / b;
     let half = n_div_b / 2;
     let a = perm.a;
     let count = selected.len();
     if count == 0 {
-        return;
+        return Ok(());
     }
     let max_hits = state.hits.len() as u32;
     let cfg = LaunchConfig::for_elements(count, BLOCK);
-    device.launch_foreach("locate", cfg, stream, |ctx, gm| {
+    device.try_launch_foreach("locate", cfg, stream, |ctx, gm| {
         let tid = ctx.global_id();
         if tid >= count {
             return;
@@ -84,7 +86,7 @@ pub fn locate_device(
                 loc -= n;
             }
         }
-    });
+    })
 }
 
 /// Masked variant (sFFT v2): candidates whose residue mod `mask.len()`
@@ -100,7 +102,7 @@ pub fn locate_masked_device(
     state: &LocateState,
     mask: &DeviceBuffer<u8>,
     stream: StreamId,
-) {
+) -> Result<(), GpuError> {
     let n = perm.n;
     let m = mask.len();
     assert!(m > 0 && n.is_multiple_of(m), "mask length must divide n");
@@ -109,11 +111,11 @@ pub fn locate_masked_device(
     let a = perm.a;
     let count = selected.len();
     if count == 0 {
-        return;
+        return Ok(());
     }
     let max_hits = state.hits.len() as u32;
     let cfg = LaunchConfig::for_elements(count, BLOCK);
-    device.launch_foreach("locate_masked", cfg, stream, |ctx, gm| {
+    device.try_launch_foreach("locate_masked", cfg, stream, |ctx, gm| {
         let tid = ctx.global_id();
         if tid >= count {
             return;
@@ -136,7 +138,7 @@ pub fn locate_masked_device(
                 loc -= n;
             }
         }
-    });
+    })
 }
 
 #[cfg(test)]
@@ -170,7 +172,7 @@ mod tests {
         let selected = DeviceBuffer::from_host(&selected_host);
         let mask = DeviceBuffer::from_host(&mask_host);
         let state = LocateState::new(n, n);
-        locate_masked_device(&dev, &selected, &perm, b, 1, &state, &mask, DEFAULT_STREAM);
+        locate_masked_device(&dev, &selected, &perm, b, 1, &state, &mask, DEFAULT_STREAM).unwrap();
         assert_eq!(state.hits_sorted(), cpu_hits);
     }
 
@@ -192,7 +194,7 @@ mod tests {
         // GPU kernel.
         let selected = DeviceBuffer::from_host(&selected_host);
         let state = LocateState::new(n, n);
-        locate_device(&dev, &selected, &perm, b, 1, &state, DEFAULT_STREAM);
+        locate_device(&dev, &selected, &perm, b, 1, &state, DEFAULT_STREAM).unwrap();
         assert_eq!(state.hits_sorted(), cpu_hits);
     }
 
@@ -204,9 +206,9 @@ mod tests {
         let state = LocateState::new(n, n);
         let perm = Permutation::new(5, 0, n);
         let selected = DeviceBuffer::from_host(&[2u32]);
-        locate_device(&dev, &selected, &perm, b, 2, &state, DEFAULT_STREAM);
+        locate_device(&dev, &selected, &perm, b, 2, &state, DEFAULT_STREAM).unwrap();
         assert!(state.hits_sorted().is_empty(), "one vote < threshold 2");
-        locate_device(&dev, &selected, &perm, b, 2, &state, DEFAULT_STREAM);
+        locate_device(&dev, &selected, &perm, b, 2, &state, DEFAULT_STREAM).unwrap();
         assert_eq!(state.hits_sorted().len(), n / b);
     }
 
@@ -219,7 +221,7 @@ mod tests {
         let perm = Permutation::new(9, 0, n);
         let selected = DeviceBuffer::from_host(&[1u32]);
         for _ in 0..5 {
-            locate_device(&dev, &selected, &perm, b, 2, &state, DEFAULT_STREAM);
+            locate_device(&dev, &selected, &perm, b, 2, &state, DEFAULT_STREAM).unwrap();
         }
         let hits = state.hits_sorted();
         let mut dedup = hits.clone();
@@ -236,7 +238,7 @@ mod tests {
         let perm = Permutation::new(77, 0, n);
         let selected = DeviceBuffer::from_host(&[0u32, 1, 2, 3]);
         dev.reset_clock();
-        locate_device(&dev, &selected, &perm, 64, 1, &state, DEFAULT_STREAM);
+        locate_device(&dev, &selected, &perm, 64, 1, &state, DEFAULT_STREAM).unwrap();
         let rec = &dev.records()[0];
         assert!(rec.stats.atomic_ops > 0.0);
         assert_eq!(rec.name, "locate");

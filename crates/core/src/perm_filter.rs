@@ -24,7 +24,7 @@
 
 use fft::cplx::{Cplx, ZERO};
 use gpu_sim::{
-    DevAtomicCplx, DeviceBuffer, GpuDevice, LaunchConfig, StreamId,
+    DevAtomicCplx, DeviceBuffer, GpuDevice, GpuError, LaunchConfig, StreamId,
 };
 use sfft_cpu::perm::mul_mod;
 use sfft_cpu::Permutation;
@@ -72,7 +72,8 @@ pub fn perm_filter_atomic(
 /// Algorithm 2: loop-partition kernel (the paper's baseline).
 ///
 /// Writes the buckets into `out` (length `b`). `w_pad` must be a multiple
-/// of `b` and `taps` must be padded to `w_pad`.
+/// of `b` and `taps` must be padded to `w_pad`. Fails with a typed device
+/// error on an injected launch fault (no blocks execute, `out` untouched).
 #[allow(clippy::too_many_arguments)]
 pub fn perm_filter_partition(
     device: &GpuDevice,
@@ -84,13 +85,13 @@ pub fn perm_filter_partition(
     perm: &Permutation,
     out: &mut DeviceBuffer<Cplx>,
     stream: StreamId,
-) {
+) -> Result<(), GpuError> {
     assert_eq!(w_pad % b, 0, "taps must be padded to a multiple of B");
     assert_eq!(out.len(), b, "output must have B elements");
     let half = w / 2;
     let rounds = w_pad / b;
     let cfg = LaunchConfig::for_elements(b, BLOCK);
-    device.launch_map("perm_filter_partition", cfg, stream, out, |ctx, gm| {
+    device.try_launch_map("perm_filter_partition", cfg, stream, out, |ctx, gm| {
         let tid = ctx.global_id();
         let first = (tid + half) % b;
         let mut acc = ZERO;
@@ -106,7 +107,7 @@ pub fn perm_filter_partition(
             acc = x.mul_add(t, acc);
         }
         acc
-    });
+    })
 }
 
 /// Why the conventional shared-memory histogram cannot run for a given
@@ -208,7 +209,9 @@ pub fn try_perm_filter_shared(
 ///
 /// `streams` are the CUDA streams the chunks round-robin over (the paper
 /// uses up to 32 concurrent kernels on GK110). `scratch` vectors are
-/// allocated internally; the final buckets land in `out`.
+/// allocated internally (tracked against device capacity); the final
+/// buckets land in `out`. Fails with a typed device error on injected
+/// allocation or launch faults.
 #[allow(clippy::too_many_arguments)]
 pub fn perm_filter_async(
     device: &GpuDevice,
@@ -221,7 +224,7 @@ pub fn perm_filter_async(
     out: &mut DeviceBuffer<Cplx>,
     streams: &[StreamId],
     reduce_stream: StreamId,
-) {
+) -> Result<(), GpuError> {
     assert_eq!(w_pad % b, 0, "taps must be padded to a multiple of B");
     assert_eq!(out.len(), b, "output must have B elements");
     assert!(!streams.is_empty(), "need at least one stream");
@@ -244,15 +247,16 @@ pub fn perm_filter_async(
     let chunks = rounds.div_ceil(rpc);
 
     let cfg_b = LaunchConfig::for_elements(b, BLOCK);
-    let mut staged: Vec<DeviceBuffer<Cplx>> = (0..chunks)
-        .map(|c| {
-            let r_lo = c * rpc;
-            let cr = rpc.min(rounds - r_lo);
-            DeviceBuffer::zeroed(cr * b)
-        })
-        .collect();
-    let mut partial: Vec<DeviceBuffer<Cplx>> =
-        (0..chunks).map(|_| DeviceBuffer::zeroed(b)).collect();
+    let mut staged: Vec<DeviceBuffer<Cplx>> = Vec::with_capacity(chunks);
+    for c in 0..chunks {
+        let r_lo = c * rpc;
+        let cr = rpc.min(rounds - r_lo);
+        staged.push(device.try_alloc_zeroed(cr * b, streams[c % streams.len()])?);
+    }
+    let mut partial: Vec<DeviceBuffer<Cplx>> = Vec::with_capacity(chunks);
+    for c in 0..chunks {
+        partial.push(device.try_alloc_zeroed(b, streams[c % streams.len()])?);
+    }
 
     for (c, (staged_c, partial_c)) in staged.iter_mut().zip(partial.iter_mut()).enumerate() {
         let stream = streams[c % streams.len()];
@@ -279,14 +283,14 @@ pub fn perm_filter_async(
             gm.ld_ro(signal, src)
         };
         if staged_cached {
-            device.launch_map_scratch("remap", remap_cfg, stream, staged_c, remap_body);
+            device.try_launch_map_scratch("remap", remap_cfg, stream, staged_c, remap_body)?;
         } else {
-            device.launch_map("remap", remap_cfg, stream, staged_c, remap_body);
+            device.try_launch_map("remap", remap_cfg, stream, staged_c, remap_body)?;
         }
         // Execution kernel: consume the reordered data with coalesced
         // accesses only; one partial bucket vector per chunk.
         let staged_ref = &*staged_c;
-        device.launch_map("exec", cfg_b, stream, partial_c, |ctx, gm| {
+        device.try_launch_map("exec", cfg_b, stream, partial_c, |ctx, gm| {
             let tid = ctx.global_id();
             let pos = (tid + half) % b;
             let mut acc = ZERO;
@@ -301,7 +305,7 @@ pub fn perm_filter_async(
                 acc = x.mul_add(tap, acc);
             }
             acc
-        });
+        })?;
     }
 
     // Reduction: buckets[tid] = Σ_c partial[c][tid] (all reads coalesced).
@@ -312,7 +316,7 @@ pub fn perm_filter_async(
         device.stream_wait_event(reduce_stream, ev);
     }
     let partial_ref = &partial;
-    device.launch_map("bucket_reduce", cfg_b, reduce_stream, out, |ctx, gm| {
+    device.try_launch_map("bucket_reduce", cfg_b, reduce_stream, out, |ctx, gm| {
         let tid = ctx.global_id();
         let mut acc = ZERO;
         for p in partial_ref {
@@ -320,7 +324,7 @@ pub fn perm_filter_async(
             gm.flops(2);
         }
         acc
-    });
+    })
 }
 
 #[cfg(test)]
@@ -388,7 +392,8 @@ mod tests {
             &su.perm,
             &mut out,
             DEFAULT_STREAM,
-        );
+        )
+        .unwrap();
         assert_buckets_match(&out.peek(), &cpu_reference(&su), 1e-10);
     }
 
@@ -428,7 +433,8 @@ mod tests {
             &mut out,
             &streams,
             DEFAULT_STREAM,
-        );
+        )
+        .unwrap();
         assert_buckets_match(&out.peek(), &cpu_reference(&su), 1e-10);
     }
 
@@ -443,13 +449,15 @@ mod tests {
         let mut part = DeviceBuffer::zeroed(b);
         perm_filter_partition(
             &su.device, &signal, &taps, su.w_pad, w, b, &su.perm, &mut part, DEFAULT_STREAM,
-        );
+        )
+        .unwrap();
         let mut asy = DeviceBuffer::zeroed(b);
         let streams: Vec<StreamId> = (0..2).map(|_| su.device.create_stream()).collect();
         perm_filter_async(
             &su.device, &signal, &taps, su.w_pad, w, b, &su.perm, &mut asy, &streams,
             DEFAULT_STREAM,
-        );
+        )
+        .unwrap();
         let plan = Plan::new(b);
         let mut za = part.peek();
         let mut zb = asy.peek();
@@ -472,7 +480,8 @@ mod tests {
         let mut part = DeviceBuffer::zeroed(b);
         perm_filter_partition(
             &su.device, &signal, &taps, su.w_pad, w, b, &su.perm, &mut part, DEFAULT_STREAM,
-        );
+        )
+        .unwrap();
         let t_baseline = su.device.elapsed();
 
         su.device.reset_clock();
@@ -481,7 +490,8 @@ mod tests {
         perm_filter_async(
             &su.device, &signal, &taps, su.w_pad, w, b, &su.perm, &mut asy, &streams,
             DEFAULT_STREAM,
-        );
+        )
+        .unwrap();
         let t_async = su.device.elapsed();
         assert!(
             t_async < t_baseline,
@@ -562,7 +572,7 @@ mod tests {
         let signal = DeviceBuffer::from_host(&su.s.time);
         let taps = DeviceBuffer::from_host(&su.taps_pad);
         let mut out = DeviceBuffer::zeroed(su.params.b_loc);
-        perm_filter_partition(
+        let _ = perm_filter_partition(
             &su.device,
             &signal,
             &taps,

@@ -27,6 +27,7 @@ use signal::Recovered;
 
 use crate::cufft::batched_fft_rows;
 use crate::cutoff::{fast_select_device, magnitudes_device, noise_threshold_device, sort_select_device};
+use crate::error::CusFftError;
 use crate::locate::{locate_device, LocateState};
 use crate::perm_filter::{perm_filter_async, perm_filter_partition};
 use crate::reconstruct::{reconstruct_device, LoopMeta, SideGeometry};
@@ -211,13 +212,35 @@ impl CusFft {
         self.execute_profiled(time, seed).0
     }
 
+    /// Fallible [`CusFft::execute`]: returns a typed error instead of
+    /// panicking on malformed input or an injected device fault. On a
+    /// fault-free device within capacity it never fails.
+    pub fn try_execute(&self, time: &[Cplx], seed: u64) -> Result<CusFftOutput, CusFftError> {
+        self.try_execute_profiled(time, seed).map(|(out, _)| out)
+    }
+
     /// Like [`CusFft::execute`], additionally reporting *host* wall-clock
     /// seconds per pipeline phase — the host-execution-engine view used
     /// by the `hostperf` benchmark. The returned output is bit-identical
     /// to [`CusFft::execute`] (profiling only reads the host clock).
     pub fn execute_profiled(&self, time: &[Cplx], seed: u64) -> (CusFftOutput, HostPhaseWalls) {
+        assert_eq!(time.len(), self.params.n, "signal length must match params.n");
+        self.try_execute_profiled(time, seed)
+            .expect("execute on a fault-free device within capacity")
+    }
+
+    /// Fallible [`CusFft::execute_profiled`].
+    pub fn try_execute_profiled(
+        &self,
+        time: &[Cplx],
+        seed: u64,
+    ) -> Result<(CusFftOutput, HostPhaseWalls), CusFftError> {
         let p = &*self.params;
-        assert_eq!(time.len(), p.n, "signal length must match params.n");
+        if time.len() != p.n {
+            return Err(CusFftError::BadRequest {
+                reason: format!("signal length {} must match params.n {}", time.len(), p.n),
+            });
+        }
         let device = &*self.device;
         device.reset_clock();
 
@@ -228,11 +251,11 @@ impl CusFft {
         let streams = ExecStreams::on_device(device, self.num_streams);
 
         let t0 = std::time::Instant::now();
-        let mut prep = self.prepare(device, &signal, seed, &streams);
+        let mut prep = self.prepare(device, &signal, seed, &streams)?;
         let t1 = std::time::Instant::now();
-        self.run_batched_ffts(device, &mut [&mut prep], streams.main);
+        self.run_batched_ffts(device, &mut [&mut prep], streams.main)?;
         let t2 = std::time::Instant::now();
-        let (recovered, num_hits) = self.finish(device, &prep, &streams);
+        let (recovered, num_hits) = self.finish(device, &prep, &streams)?;
         let t3 = std::time::Instant::now();
 
         let sim_time = device.elapsed();
@@ -249,7 +272,7 @@ impl CusFft {
             batched_fft: (t2 - t1).as_secs_f64(),
             finish: (t3 - t2).as_secs_f64(),
         };
-        (output, walls)
+        Ok((output, walls))
     }
 
     /// Front half of the pipeline (steps 1-2): comb mask, permutations,
@@ -257,28 +280,39 @@ impl CusFft {
     /// buffers awaiting their cuFFT. `device` need not be the plan's own
     /// device — the serving layer runs a shared plan on per-worker devices
     /// (the plan's filter buffers are device-agnostic host-backed arrays).
+    ///
+    /// Fails with a typed error on an injected device fault or memory
+    /// exhaustion; nothing executed so far escapes (the partial buffers
+    /// are dropped, releasing their reservations).
     pub(crate) fn prepare(
         &self,
         device: &GpuDevice,
         signal: &DeviceBuffer<Cplx>,
         seed: u64,
         streams: &ExecStreams,
-    ) -> PreparedRequest {
+    ) -> Result<PreparedRequest, CusFftError> {
         let p = &*self.params;
         let n = p.n;
-        assert_eq!(signal.len(), n, "signal length must match params.n");
+        if signal.len() != n {
+            return Err(CusFftError::BadRequest {
+                reason: format!("signal length {} must match params.n {}", signal.len(), n),
+            });
+        }
         let stream0 = streams.main;
 
         // Optional comb pre-filter (sFFT v2): compute the residue mask
         // first, on the device. It consumes the RNG ahead of the
         // permutations — the same stream discipline as `sfft_cpu::v2`.
         let mut rng = StdRng::seed_from_u64(seed);
-        let mask_buf: Option<DeviceBuffer<u8>> = self.comb.as_ref().map(|comb| {
-            let mask =
-                crate::comb::comb_mask_device(device, signal, n, p.k, comb, &mut rng, stream0);
-            let bytes: Vec<u8> = mask.into_iter().map(u8::from).collect();
-            DeviceBuffer::from_host(&bytes)
-        });
+        let mask_buf: Option<DeviceBuffer<u8>> = match self.comb.as_ref() {
+            Some(comb) => {
+                let mask =
+                    crate::comb::comb_mask_device(device, signal, n, p.k, comb, &mut rng, stream0)?;
+                let bytes: Vec<u8> = mask.into_iter().map(u8::from).collect();
+                Some(device.try_resident(&bytes, stream0)?)
+            }
+            None => None,
+        };
         let perms: Vec<Permutation> = (0..p.loops_total())
             .map(|_| Permutation::random(&mut rng, n, p.random_tau))
             .collect();
@@ -292,23 +326,23 @@ impl CusFft {
             } else {
                 (p.b_est, &self.taps_est, self.w_pad_est, p.filter_est.width())
             };
-            let mut out = DeviceBuffer::zeroed(b);
+            let mut out = device.try_alloc_zeroed(b, stream0)?;
             match self.variant {
                 Variant::Baseline => perm_filter_partition(
                     device, signal, taps, w_pad, w, b, perm, &mut out, stream0,
-                ),
+                )?,
                 Variant::Optimized => perm_filter_async(
                     device, signal, taps, w_pad, w, b, perm, &mut out, &streams.aux, stream0,
-                ),
+                )?,
             }
             bucket_bufs.push(out);
         }
 
-        PreparedRequest {
+        Ok(PreparedRequest {
             bucket_bufs,
             perms,
             mask_buf,
-        }
+        })
     }
 
     /// Step 3: the batched cuFFT calls — one per bucket geometry — over
@@ -317,12 +351,18 @@ impl CusFft {
     /// passes every same-plan request in a batch so their subsampled FFTs
     /// ride in one cuFFT launch per side ("compute cuFFT only once",
     /// amortised across requests as well as loops).
+    /// Fails with a typed error on an injected launch fault, in which
+    /// case no row in the failing batch was transformed (retry-safe). A
+    /// failure on the estimation batch after the location batch succeeded
+    /// leaves the group half-transformed — the serving layer treats any
+    /// batched-FFT failure as failing the *whole group attempt* and
+    /// re-prepares survivors from scratch, so the asymmetry never leaks.
     pub(crate) fn run_batched_ffts(
         &self,
         device: &GpuDevice,
         group: &mut [&mut PreparedRequest],
         stream: StreamId,
-    ) {
+    ) -> Result<(), CusFftError> {
         let p = &*self.params;
         let mut loc_rows: Vec<&mut DeviceBuffer<Cplx>> = Vec::new();
         let mut est_rows: Vec<&mut DeviceBuffer<Cplx>> = Vec::new();
@@ -331,8 +371,9 @@ impl CusFft {
             loc_rows.extend(loc.iter_mut());
             est_rows.extend(est.iter_mut());
         }
-        batched_fft_rows(device, &mut loc_rows, p.b_loc, stream, "cufft_batched_loc");
-        batched_fft_rows(device, &mut est_rows, p.b_est, stream, "cufft_batched_est");
+        batched_fft_rows(device, &mut loc_rows, p.b_loc, stream, "cufft_batched_loc")?;
+        batched_fft_rows(device, &mut est_rows, p.b_est, stream, "cufft_batched_est")?;
+        Ok(())
     }
 
     /// Back half of the pipeline (steps 4-6): cutoff + location voting per
@@ -343,7 +384,7 @@ impl CusFft {
         device: &GpuDevice,
         prep: &PreparedRequest,
         streams: &ExecStreams,
-    ) -> (Recovered, usize) {
+    ) -> Result<(Recovered, usize), CusFftError> {
         let p = &*self.params;
         let n = p.n;
         let stream0 = streams.main;
@@ -353,18 +394,19 @@ impl CusFft {
         // Steps 4-5: cutoff + location voting per location loop.
         let state = LocateState::new(n, n);
         for r in 0..p.loops_loc {
-            let mags = magnitudes_device(device, &bucket_bufs[r], stream0);
+            let mags = magnitudes_device(device, &bucket_bufs[r], stream0)?;
             let selected: Vec<usize> = match self.variant {
                 Variant::Baseline => {
-                    sort_select_device(device, &mags, p.num_candidates, stream0)
+                    sort_select_device(device, &mags, p.num_candidates, stream0)?
                 }
                 Variant::Optimized => {
-                    let noise = noise_threshold_device(device, &mags, self.select_factor, stream0);
+                    let noise =
+                        noise_threshold_device(device, &mags, self.select_factor, stream0)?;
                     // Guard against an all-zero noise floor (synthetic
                     // noiseless inputs): never select below peak·1e-12.
                     let peak = mags.as_slice().iter().copied().fold(0.0, f64::max);
                     let thr = noise.max(peak * 1e-12);
-                    fast_select_device(device, &mags, thr, stream0)
+                    fast_select_device(device, &mags, thr, stream0)?
                 }
             };
             let sel_host: Vec<u32> = selected.iter().map(|&i| i as u32).collect();
@@ -379,7 +421,7 @@ impl CusFft {
                     &state,
                     mask,
                     stream0,
-                ),
+                )?,
                 None => locate_device(
                     device,
                     &sel_buf,
@@ -388,7 +430,7 @@ impl CusFft {
                     p.loops_thresh,
                     &state,
                     stream0,
-                ),
+                )?,
             }
         }
         let hits = state.hits_sorted();
@@ -425,12 +467,12 @@ impl CusFft {
             &est_geo,
             n,
             stream0,
-        );
+        )?;
 
         // Copy the sparse result back (2 small transfers).
         let vals_buf = DeviceBuffer::from_host(&vals);
-        let _ = device.dtoh(&hits_buf, stream0);
-        let vals_host = device.dtoh(&vals_buf, stream0);
+        let _ = device.try_dtoh(&hits_buf, stream0)?;
+        let vals_host = device.try_dtoh(&vals_buf, stream0)?;
 
         let mut recovered: Recovered = hits
             .iter()
@@ -439,7 +481,7 @@ impl CusFft {
             .collect();
         recovered.sort_unstable_by_key(|&(f, _)| f);
 
-        (recovered, hits.len())
+        Ok((recovered, hits.len()))
     }
 
     /// Auxiliary streams the async layout transformation wants.

@@ -3,7 +3,7 @@
 //! and reports the component-wise median.
 
 use fft::cplx::{Cplx, ZERO};
-use gpu_sim::{DeviceBuffer, GpuDevice, LaunchConfig, StreamId};
+use gpu_sim::{DeviceBuffer, GpuDevice, GpuError, LaunchConfig, StreamId};
 use kselect::median_cplx;
 use sfft_cpu::perm::mul_mod;
 
@@ -43,6 +43,8 @@ const MIN_FILTER_MAG: f64 = 1e-8;
 
 /// Runs the reconstruction kernel: for each frequency in `hits`, the
 /// median estimate over all loops. Returns estimates aligned with `hits`.
+/// Fails with a typed device error on an injected allocation or launch
+/// fault.
 #[allow(clippy::too_many_arguments)]
 pub fn reconstruct_device(
     device: &GpuDevice,
@@ -53,16 +55,16 @@ pub fn reconstruct_device(
     est_geo: &SideGeometry<'_>,
     n: usize,
     stream: StreamId,
-) -> Vec<Cplx> {
+) -> Result<Vec<Cplx>, GpuError> {
     assert_eq!(loops.len(), buckets.len(), "one bucket row per loop");
     assert!(loops.len() <= MAX_LOOPS, "too many loops for the kernel");
     let num_hits = hits.len();
     if num_hits == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let mut vals: DeviceBuffer<Cplx> = DeviceBuffer::zeroed(num_hits);
+    let mut vals: DeviceBuffer<Cplx> = device.try_alloc_zeroed(num_hits, stream)?;
     let cfg = LaunchConfig::for_elements(num_hits, BLOCK);
-    device.launch_map("reconstruct", cfg, stream, &mut vals, |ctx, gm| {
+    device.try_launch_map("reconstruct", cfg, stream, &mut vals, |ctx, gm| {
         let tid = ctx.global_id();
         let f = gm.ld(hits, tid) as usize;
         let mut mags = [ZERO; MAX_LOOPS];
@@ -95,8 +97,8 @@ pub fn reconstruct_device(
         } else {
             median_cplx(&mags[..count])
         }
-    });
-    vals.peek()
+    })?;
+    Ok(vals.peek())
 }
 
 #[cfg(test)]
@@ -166,7 +168,8 @@ mod tests {
         let dev = GpuDevice::new(DeviceSpec::tesla_k20x());
         let gpu_vals = reconstruct_device(
             &dev, &hits, &metas, &bucket_bufs, &loc_geo, &est_geo, n, DEFAULT_STREAM,
-        );
+        )
+        .unwrap();
 
         let hits_usize: Vec<usize> = hits_host.iter().map(|&h| h as usize).collect();
         let cpu_vals = estimate(&hits_usize, &loops_cpu, &params);
@@ -198,7 +201,7 @@ mod tests {
             band: &band,
             half: 1,
         };
-        let out = reconstruct_device(&dev, &hits, &[], &[], &geo, &geo, 64, DEFAULT_STREAM);
+        let out = reconstruct_device(&dev, &hits, &[], &[], &geo, &geo, 64, DEFAULT_STREAM).unwrap();
         assert!(out.is_empty());
     }
 }

@@ -1,4 +1,5 @@
-//! `cusfft::serve` — a concurrent batch-serving layer over the pipeline.
+//! `cusfft::serve` — a concurrent, fault-tolerant batch-serving layer
+//! over the pipeline.
 //!
 //! A server receives many sparse-FFT requests over a handful of signal
 //! geometries. Three mechanisms (mirroring what the paper's batching and
@@ -18,23 +19,51 @@
 //!    simulated timeline exactly as concurrent streams overlap on real
 //!    hardware (paper Fig. 4).
 //!
+//! ## Fault tolerance
+//!
+//! With a [`FaultConfig`] installed ([`ServeConfig::faults`]) the worker
+//! devices inject deterministic faults (OOM, transfer failures, launch
+//! failures/timeouts, detected ECC errors — see `gpu_sim::fault`), and
+//! the engine recovers per request:
+//!
+//! * **Request isolation** — a request whose prepare/finish fails is
+//!   evicted from its batch group; the group's surviving requests still
+//!   share one batched cuFFT. A failed *batched* launch defers every
+//!   survivor (no row was transformed, so re-preparing is safe).
+//! * **Bounded retry** — evicted requests re-run individually, up to
+//!   [`ServeConfig::max_retries`] attempts, each preceded by a
+//!   deterministic exponential backoff charged to the timeline as a host
+//!   op (which contends for no device resource).
+//! * **CPU degradation** — when retries are exhausted and
+//!   [`ServeConfig::cpu_fallback`] is on, the request completes on the
+//!   `sfft-cpu` reference path ([`ServePath::Cpu`]); otherwise it fails
+//!   with a typed [`CusFftError`].
+//! * **Panic containment** — per-request work runs under `catch_unwind`,
+//!   so a panicking request degrades like any fault; a lost worker thread
+//!   fails over to the engine thread, which serves its requests on the
+//!   CPU path.
+//!
 //! Determinism is load-bearing: outputs *and* the simulated timeline are
-//! functions of `(requests, config)` alone, independent of OS thread
-//! scheduling. Each worker records its ops on a private device; the
-//! recordings are merged in worker order with
-//! [`gpu_sim::merge_op_groups`], which interleaves deterministically and
-//! remaps streams to disjoint global ids before the event-driven
-//! scheduler runs.
+//! functions of `(requests, config)` alone — including the fault seed —
+//! independent of OS thread scheduling and host pool width. Each worker
+//! records its ops on a private device; the recordings are merged in
+//! worker order with [`gpu_sim::merge_op_groups`], which interleaves
+//! deterministically and remaps streams to disjoint global ids before the
+//! event-driven scheduler runs. Fault decisions are scoped per *global
+//! group index* (see [`scope_group`]/[`scope_retry`]), so per-request
+//! outcomes and fault tallies are also invariant under the worker count.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use fft::cplx::Cplx;
 use gpu_sim::{
-    concurrency_profile, merge_op_groups, schedule, ConcurrencyProfile, DeviceBuffer, DeviceSpec,
+    concurrency_profile, merge_op_groups, schedule, ConcurrencyProfile, DeviceSpec, FaultConfig,
     GpuDevice,
 };
 use signal::Recovered;
 
+use crate::error::CusFftError;
 use crate::pipeline::{CusFft, ExecStreams, PreparedRequest, Variant};
 use crate::plan_cache::{CacheStats, PlanCache, PlanKey};
 
@@ -78,6 +107,14 @@ pub struct ServeConfig {
     pub workers: usize,
     /// LRU bound on the plan cache.
     pub cache_capacity: usize,
+    /// Deterministic fault plan installed on every worker device; `None`
+    /// serves fault-free.
+    pub faults: Option<FaultConfig>,
+    /// Individual retry attempts per evicted request before degrading.
+    pub max_retries: u32,
+    /// Complete exhausted requests on the `sfft-cpu` reference path
+    /// instead of failing them.
+    pub cpu_fallback: bool,
 }
 
 impl Default for ServeConfig {
@@ -85,25 +122,101 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 2,
             cache_capacity: 8,
+            faults: None,
+            max_retries: 2,
+            cpu_fallback: true,
         }
     }
 }
 
+/// Which execution path produced a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServePath {
+    /// First-attempt GPU batch path.
+    Gpu,
+    /// GPU path after one or more individual retries.
+    GpuRetry,
+    /// Degraded to the `sfft-cpu` reference implementation.
+    Cpu,
+}
+
 /// Result for one request, in the order the requests were submitted.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeResponse {
     /// Recovered `(frequency, coefficient)` pairs, sorted by frequency —
-    /// bit-identical to `CusFft::execute` on the same `(signal, seed)`.
+    /// bit-identical to `CusFft::execute` on the same `(signal, seed)`
+    /// for the GPU paths.
     pub recovered: Recovered,
     /// Number of located frequencies before estimation.
     pub num_hits: usize,
+    /// The path that produced this response.
+    pub path: ServePath,
+}
+
+/// Terminal outcome of one request: either a response (possibly via
+/// retry or CPU fallback) or a typed failure. Requests fail individually;
+/// one bad request never takes down its batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOutcome {
+    /// The request completed; see [`ServeResponse::path`] for how.
+    Done(ServeResponse),
+    /// The request failed after exhausting recovery.
+    Failed(CusFftError),
+}
+
+impl RequestOutcome {
+    /// The response, if the request completed.
+    pub fn response(&self) -> Option<&ServeResponse> {
+        match self {
+            RequestOutcome::Done(r) => Some(r),
+            RequestOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The error, if the request failed.
+    pub fn error(&self) -> Option<&CusFftError> {
+        match self {
+            RequestOutcome::Done(_) => None,
+            RequestOutcome::Failed(e) => Some(e),
+        }
+    }
+}
+
+/// Fault/recovery counters for one [`ServeEngine::serve_batch`] call.
+/// Deterministic: a function of `(requests, config)`, invariant under
+/// the worker count and host pool width.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTally {
+    /// Faults the devices injected (every class, every attempt).
+    pub injected: u64,
+    /// Individual retry attempts performed.
+    pub retries: u64,
+    /// Requests evicted from their batch group to the individual path.
+    pub evictions: u64,
+    /// Requests completed on the CPU fallback path.
+    pub cpu_fallbacks: u64,
+    /// Requests that terminally failed.
+    pub failed: u64,
+    /// Panics contained (per-request boundaries and lost workers).
+    pub worker_panics: u64,
+}
+
+impl FaultTally {
+    fn absorb(&mut self, other: &FaultTally) {
+        self.injected += other.injected;
+        self.retries += other.retries;
+        self.evictions += other.evictions;
+        self.cpu_fallbacks += other.cpu_fallbacks;
+        self.failed += other.failed;
+        self.worker_panics += other.worker_panics;
+    }
 }
 
 /// Outcome of one [`ServeEngine::serve_batch`] call.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
-    /// Per-request results, in submission order.
-    pub responses: Vec<ServeResponse>,
+    /// Per-request outcomes, in submission order.
+    pub outcomes: Vec<RequestOutcome>,
     /// Simulated makespan of the merged multi-stream timeline (seconds).
     pub makespan: f64,
     /// Requests per simulated second (`0` for an empty batch).
@@ -114,12 +227,41 @@ pub struct ServeReport {
     pub cache: CacheStats,
     /// Number of distinct plan groups the batch split into.
     pub groups: usize,
+    /// Fault-injection and recovery counters for this batch.
+    pub faults: FaultTally,
+}
+
+impl ServeReport {
+    /// The responses of all completed requests, in submission order
+    /// (skipping failed ones).
+    pub fn responses(&self) -> impl Iterator<Item = &ServeResponse> {
+        self.outcomes.iter().filter_map(|o| o.response())
+    }
 }
 
 /// A geometry group: every request index served by one plan.
 struct Group {
+    /// Global group index — the fault-scope base, so fault decisions are
+    /// invariant under how groups are dealt to workers.
+    gid: usize,
     plan: Arc<CusFft>,
     indices: Vec<usize>,
+}
+
+/// Base backoff before the first individual retry; doubles per attempt.
+const RETRY_BACKOFF_BASE: f64 = 50e-6;
+
+/// Fault scope of group `g`'s batch attempt. Scopes only need to be
+/// distinct (the fault plan hashes them); bit 19 separates the batch
+/// attempt from the retry scopes below.
+fn scope_group(g: usize) -> u64 {
+    (g as u64) << 20
+}
+
+/// Fault scope of retry `attempt` for the request at position `j` of
+/// group `g` (fits j < 2^15, attempt < 16 — far beyond practical use).
+fn scope_retry(g: usize, j: usize, attempt: u32) -> u64 {
+    ((g as u64) << 20) | (1 << 19) | ((j as u64) << 4) | u64::from(attempt)
 }
 
 /// The concurrent serving engine: plan cache + sharded batch dispatch.
@@ -155,12 +297,15 @@ impl ServeEngine {
     }
 
     /// Serves a batch: groups requests by plan key, shards the groups
-    /// across workers, and returns per-request results (in submission
-    /// order) plus the merged simulated timeline.
+    /// across workers, and returns per-request outcomes (in submission
+    /// order) plus the merged simulated timeline. Never panics on request
+    /// content or injected faults — bad requests and exhausted failures
+    /// come back as [`RequestOutcome::Failed`].
     pub fn serve_batch(&self, requests: &[ServeRequest]) -> ServeReport {
-        let groups = self.group_requests(requests);
+        let (groups, prefailed) = self.group_requests(requests);
         let num_groups = groups.len();
         let workers = self.config.workers;
+        let config = self.config;
 
         // Deal groups round-robin: worker w owns groups w, w+W, w+2W, …
         let mut shards: Vec<Vec<&Group>> = (0..workers).map(|_| Vec::new()).collect();
@@ -187,12 +332,21 @@ impl ServeEngine {
                 .iter()
                 .map(|shard| {
                     let spec = self.spec.clone();
-                    scope.spawn(move || run_worker(spec, shard, requests, aux))
+                    scope.spawn(move || run_worker(spec, shard, requests, aux, &config))
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("serve worker panicked"))
+                .zip(&shards)
+                .map(|(h, shard)| match h.join() {
+                    Ok(out) => out,
+                    // A worker died outside every catch_unwind boundary
+                    // (should not happen — per-request work is contained).
+                    // Its ops and fault counters are lost, but its
+                    // requests are not: the engine thread serves them on
+                    // the CPU path (or fails them typed).
+                    Err(payload) => recover_worker_loss(shard, requests, &config, &*payload),
+                })
                 .collect()
         });
 
@@ -204,15 +358,29 @@ impl ServeEngine {
         let concurrency = concurrency_profile(&merged, &sched);
         let makespan = concurrency.makespan;
 
-        let mut responses: Vec<Option<ServeResponse>> = (0..requests.len()).map(|_| None).collect();
+        let mut faults = FaultTally::default();
+        for w in &worker_outputs {
+            faults.absorb(&w.tally);
+        }
+
+        let mut outcomes: Vec<Option<RequestOutcome>> =
+            (0..requests.len()).map(|_| None).collect();
         for w in worker_outputs {
-            for (idx, resp) in w.results {
-                responses[idx] = Some(resp);
+            for (idx, outcome) in w.results {
+                outcomes[idx] = Some(outcome);
             }
         }
-        let responses: Vec<ServeResponse> = responses
+        for (idx, err) in prefailed {
+            faults.failed += 1;
+            outcomes[idx] = Some(RequestOutcome::Failed(err));
+        }
+        let outcomes: Vec<RequestOutcome> = outcomes
             .into_iter()
-            .map(|r| r.expect("every request is assigned to exactly one group"))
+            // Invariant: every request is either pre-failed by validation
+            // or assigned to exactly one group, and every group position
+            // resolves (run_group returns an outcome per index; a lost
+            // worker is recovered above).
+            .map(|o| o.expect("every request resolves to exactly one outcome"))
             .collect();
 
         let throughput = if makespan > 0.0 {
@@ -222,23 +390,33 @@ impl ServeEngine {
         };
 
         ServeReport {
-            responses,
+            outcomes,
             makespan,
             throughput,
             concurrency,
             cache: self.cache.stats(),
             groups: num_groups,
+            faults,
         }
     }
 
     /// Resolves each request's plan through the cache and groups request
-    /// indices by plan, in first-appearance order.
-    fn group_requests(&self, requests: &[ServeRequest]) -> Vec<Group> {
+    /// indices by plan, in first-appearance order. Requests that fail
+    /// validation (the geometry the plan constructor would reject) are
+    /// returned separately as typed failures instead of panicking.
+    fn group_requests(
+        &self,
+        requests: &[ServeRequest],
+    ) -> (Vec<Group>, Vec<(usize, CusFftError)>) {
         let mut groups: Vec<Group> = Vec::new();
+        let mut prefailed: Vec<(usize, CusFftError)> = Vec::new();
         let mut key_to_group: std::collections::HashMap<PlanKey, usize> =
             std::collections::HashMap::new();
         for (idx, req) in requests.iter().enumerate() {
-            assert!(!req.time.is_empty(), "request signal must be non-empty");
+            if let Err(e) = validate_request(req) {
+                prefailed.push((idx, e));
+                continue;
+            }
             let key = req.plan_key();
             // Look up per request — cache counters reflect request
             // traffic, the signal a production cache sizes itself by.
@@ -248,62 +426,281 @@ impl ServeEngine {
                 None => {
                     key_to_group.insert(key, groups.len());
                     groups.push(Group {
+                        gid: groups.len(),
                         plan,
                         indices: vec![idx],
                     });
                 }
             }
         }
-        groups
+        (groups, prefailed)
     }
 }
 
+/// Rejects geometries `SfftParams::tuned` would panic on, as typed
+/// errors before any plan is built or device touched.
+fn validate_request(req: &ServeRequest) -> Result<(), CusFftError> {
+    let n = req.time.len();
+    let bad = |reason: String| Err(CusFftError::BadRequest { reason });
+    if n == 0 {
+        return bad("signal must be non-empty".into());
+    }
+    if !n.is_power_of_two() || n < 512 {
+        return bad(format!("signal length {n} must be a power of two ≥ 512"));
+    }
+    if req.k == 0 || req.k > n / 8 {
+        return bad(format!("sparsity k={} out of 1..={}", req.k, n / 8));
+    }
+    Ok(())
+}
+
 struct WorkerOutput {
-    /// `(request index, response)` pairs for every request this worker ran.
-    results: Vec<(usize, ServeResponse)>,
+    /// `(request index, outcome)` pairs for every request this worker ran.
+    results: Vec<(usize, RequestOutcome)>,
     /// The worker's private op recording.
     ops: Vec<gpu_sim::Op>,
+    /// The worker's fault/recovery counters.
+    tally: FaultTally,
 }
 
 /// Executes `shard`'s groups serially on a private device: prepare every
 /// request in a group, one cross-request batched cuFFT per side, then
-/// finish each request. The stream family is created once so consecutive
+/// finish each request — recovering from injected faults per request (see
+/// the module docs). The stream family is created once so consecutive
 /// groups on this worker genuinely serialise on it.
 fn run_worker(
     spec: DeviceSpec,
     shard: &[&Group],
     requests: &[ServeRequest],
     aux: usize,
+    cfg: &ServeConfig,
 ) -> WorkerOutput {
     let device = GpuDevice::new(spec);
+    if let Some(fc) = cfg.faults {
+        device.install_fault_plan(fc);
+    }
     let streams = ExecStreams::on_device_private(&device, aux);
+    let mut tally = FaultTally::default();
     let mut results = Vec::new();
     for group in shard {
-        let plan = &group.plan;
-        let signals: Vec<DeviceBuffer<Cplx>> = group
-            .indices
-            .iter()
-            .map(|&idx| DeviceBuffer::from_host(&requests[idx].time))
-            .collect();
-        let mut preps: Vec<PreparedRequest> = group
-            .indices
-            .iter()
-            .zip(&signals)
-            .map(|(&idx, signal)| plan.prepare(&device, signal, requests[idx].seed, &streams))
-            .collect();
-        let mut prep_refs: Vec<&mut PreparedRequest> = preps.iter_mut().collect();
-        plan.run_batched_ffts(&device, &mut prep_refs, streams.main);
-        for (&idx, prep) in group.indices.iter().zip(&preps) {
-            let (recovered, num_hits) = plan.finish(&device, prep, &streams);
-            results.push((idx, ServeResponse {
-                recovered,
-                num_hits,
-            }));
+        results.extend(run_group(&device, group, requests, &streams, cfg, &mut tally));
+    }
+    tally.injected = device.faults_injected();
+    WorkerOutput {
+        results,
+        ops: device.ops(),
+        tally,
+    }
+}
+
+/// Runs `f` inside a panic boundary, converting a panic into a typed
+/// [`CusFftError::Panic`] so one request cannot take down its worker.
+fn run_caught<T>(
+    tally: &mut FaultTally,
+    where_: &str,
+    f: impl FnOnce() -> Result<T, CusFftError>,
+) -> Result<T, CusFftError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            tally.worker_panics += 1;
+            Err(CusFftError::Panic {
+                context: crate::error::panic_context(where_, payload.as_ref()),
+            })
+        }
+    }
+}
+
+/// One group under fault recovery: batch attempt, per-request eviction,
+/// individual retries with backoff, CPU fallback. Returns an outcome for
+/// every index in the group.
+fn run_group(
+    device: &GpuDevice,
+    group: &Group,
+    requests: &[ServeRequest],
+    streams: &ExecStreams,
+    cfg: &ServeConfig,
+    tally: &mut FaultTally,
+) -> Vec<(usize, RequestOutcome)> {
+    let g = group.gid;
+    let plan = &group.plan;
+    let nreq = group.indices.len();
+    let mut outcomes: Vec<Option<RequestOutcome>> = (0..nreq).map(|_| None).collect();
+    let mut last_err: Vec<Option<CusFftError>> = (0..nreq).map(|_| None).collect();
+    // Group positions deferred to the individual retry path.
+    let mut individual: Vec<usize> = Vec::new();
+
+    // Batch attempt. Every fault decision inside it rolls in the group's
+    // own scope, so the sequence is invariant under worker placement.
+    device.set_fault_scope(scope_group(g));
+    let mut preps: Vec<Option<PreparedRequest>> = Vec::with_capacity(nreq);
+    for (j, &idx) in group.indices.iter().enumerate() {
+        let req = &requests[idx];
+        let r = run_caught(tally, "prepare", || {
+            let signal = device.try_resident(&req.time, streams.main)?;
+            plan.prepare(device, &signal, req.seed, streams)
+        });
+        match r {
+            Ok(p) => preps.push(Some(p)),
+            Err(e) => {
+                tally.evictions += 1;
+                last_err[j] = Some(e);
+                individual.push(j);
+                preps.push(None);
+            }
+        }
+    }
+
+    let survivors: Vec<usize> = (0..nreq).filter(|&j| preps[j].is_some()).collect();
+    let mut batched_ok = true;
+    if !survivors.is_empty() {
+        let r = run_caught(tally, "batched cuFFT", || {
+            let mut refs: Vec<&mut PreparedRequest> =
+                preps.iter_mut().filter_map(|p| p.as_mut()).collect();
+            plan.run_batched_ffts(device, &mut refs, streams.main)
+        });
+        if let Err(e) = r {
+            // A failed batched launch transformed no row (and a failed
+            // estimation batch poisons the half-transformed group), so
+            // every survivor re-prepares from scratch individually.
+            batched_ok = false;
+            for &j in &survivors {
+                tally.evictions += 1;
+                last_err[j] = Some(e.clone());
+                individual.push(j);
+                preps[j] = None;
+            }
+        }
+    }
+
+    if batched_ok {
+        for &j in &survivors {
+            let prep = preps[j]
+                .as_ref()
+                .expect("survivors hold their prepared state");
+            let r = run_caught(tally, "finish", || plan.finish(device, prep, streams));
+            match r {
+                Ok((recovered, num_hits)) => {
+                    outcomes[j] = Some(RequestOutcome::Done(ServeResponse {
+                        recovered,
+                        num_hits,
+                        path: ServePath::Gpu,
+                    }));
+                }
+                Err(e) => {
+                    tally.evictions += 1;
+                    last_err[j] = Some(e);
+                    individual.push(j);
+                }
+            }
+        }
+    }
+
+    // Individual path: bounded retries, then CPU fallback. Processed in
+    // group-position order regardless of which stage evicted them.
+    individual.sort_unstable();
+    for &j in &individual {
+        let req = &requests[group.indices[j]];
+        let mut success: Option<ServeResponse> = None;
+        for attempt in 1..=cfg.max_retries {
+            tally.retries += 1;
+            // Deterministic exponential backoff, visible on the timeline
+            // but contending for no device resource.
+            let backoff = RETRY_BACKOFF_BASE * (1u64 << (attempt - 1)) as f64;
+            device.charge_host_op("retry_backoff", backoff, streams.main);
+            device.set_fault_scope(scope_retry(g, j, attempt));
+            let r = run_caught(tally, "retry", || {
+                let signal = device.try_resident(&req.time, streams.main)?;
+                let mut prep = plan.prepare(device, &signal, req.seed, streams)?;
+                plan.run_batched_ffts(device, &mut [&mut prep], streams.main)?;
+                let (recovered, num_hits) = plan.finish(device, &prep, streams)?;
+                Ok(ServeResponse {
+                    recovered,
+                    num_hits,
+                    path: ServePath::GpuRetry,
+                })
+            });
+            match r {
+                Ok(resp) => {
+                    success = Some(resp);
+                    break;
+                }
+                Err(e) => last_err[j] = Some(e),
+            }
+        }
+        outcomes[j] = Some(match success {
+            Some(resp) => RequestOutcome::Done(resp),
+            None if cfg.cpu_fallback => {
+                tally.cpu_fallbacks += 1;
+                // Zero-duration marker: the degradation is visible on the
+                // timeline without inventing a device cost for CPU work.
+                device.charge_host_op("cpu_fallback", 0.0, streams.main);
+                let recovered = sfft_cpu::sfft(plan.params(), &req.time, req.seed);
+                RequestOutcome::Done(ServeResponse {
+                    num_hits: recovered.len(),
+                    recovered,
+                    path: ServePath::Cpu,
+                })
+            }
+            None => {
+                tally.failed += 1;
+                RequestOutcome::Failed(last_err[j].take().unwrap_or(CusFftError::Panic {
+                    context: "request failed without a recorded error".into(),
+                }))
+            }
+        });
+    }
+
+    group
+        .indices
+        .iter()
+        .zip(outcomes)
+        // Invariant: every position either finished on the batch path or
+        // was pushed to `individual`, which always writes an outcome.
+        .map(|(&idx, o)| (idx, o.expect("every group position resolves")))
+        .collect()
+}
+
+/// Engine-thread failover for a worker that died outside every
+/// per-request panic boundary: serve its requests on the CPU path (or
+/// fail them typed). Ops and device-side fault counters are lost with
+/// the worker.
+fn recover_worker_loss(
+    shard: &[&Group],
+    requests: &[ServeRequest],
+    cfg: &ServeConfig,
+    payload: &(dyn std::any::Any + Send),
+) -> WorkerOutput {
+    let context = crate::error::panic_context("serve worker", payload);
+    let mut tally = FaultTally {
+        worker_panics: 1,
+        ..FaultTally::default()
+    };
+    let mut results = Vec::new();
+    for group in shard {
+        for &idx in &group.indices {
+            let req = &requests[idx];
+            let outcome = if cfg.cpu_fallback {
+                tally.cpu_fallbacks += 1;
+                let recovered = sfft_cpu::sfft(group.plan.params(), &req.time, req.seed);
+                RequestOutcome::Done(ServeResponse {
+                    num_hits: recovered.len(),
+                    recovered,
+                    path: ServePath::Cpu,
+                })
+            } else {
+                tally.failed += 1;
+                RequestOutcome::Failed(CusFftError::Panic {
+                    context: context.clone(),
+                })
+            };
+            results.push((idx, outcome));
         }
     }
     WorkerOutput {
         results,
-        ops: device.ops(),
+        ops: Vec::new(),
+        tally,
     }
 }
 
@@ -326,9 +723,10 @@ mod tests {
     fn empty_batch_is_empty_report() {
         let engine = ServeEngine::new(DeviceSpec::tesla_k20x(), ServeConfig::default());
         let report = engine.serve_batch(&[]);
-        assert!(report.responses.is_empty());
+        assert!(report.outcomes.is_empty());
         assert_eq!(report.groups, 0);
         assert_eq!(report.throughput, 0.0);
+        assert_eq!(report.faults, FaultTally::default());
     }
 
     #[test]
@@ -339,7 +737,11 @@ mod tests {
             .collect();
         let report = engine.serve_batch(&reqs);
         assert_eq!(report.groups, 1);
-        assert_eq!(report.responses.len(), 4);
+        assert_eq!(report.outcomes.len(), 4);
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| o.response().is_some_and(|r| r.path == ServePath::Gpu)));
         let s = report.cache;
         assert_eq!(s.misses, 1, "one plan build");
         assert_eq!(s.hits, 3, "remaining requests hit the cache");
@@ -352,6 +754,7 @@ mod tests {
             ServeConfig {
                 workers: 2,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         );
         let reqs = vec![
@@ -385,6 +788,7 @@ mod tests {
             ServeConfig {
                 workers: 1,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         )
         .serve_batch(&reqs)
@@ -394,6 +798,7 @@ mod tests {
             ServeConfig {
                 workers: 2,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         )
         .serve_batch(&reqs)
@@ -415,6 +820,7 @@ mod tests {
             ServeConfig {
                 workers: 3,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         );
         // Alternate geometries so consecutive requests land in different
@@ -426,14 +832,92 @@ mod tests {
             })
             .collect();
         let report = engine.serve_batch(&reqs);
-        for (req, resp) in reqs.iter().zip(&report.responses) {
+        for (req, outcome) in reqs.iter().zip(&report.outcomes) {
             let plan = CusFft::new(
                 Arc::new(GpuDevice::new(DeviceSpec::tesla_k20x())),
                 Arc::new(sfft_cpu::SfftParams::tuned(req.time.len(), req.k)),
                 req.variant,
             );
             let direct = plan.execute(&req.time, req.seed);
+            let resp = outcome.response().expect("fault-free batch completes");
             assert_eq!(resp.recovered, direct.recovered);
         }
+    }
+
+    #[test]
+    fn invalid_requests_fail_typed_without_poisoning_the_batch() {
+        let engine = ServeEngine::new(DeviceSpec::tesla_k20x(), ServeConfig::default());
+        let reqs = vec![
+            request(1 << 10, 4, Variant::Optimized, 1, 11),
+            // Non-power-of-two length: the plan constructor would panic.
+            ServeRequest {
+                time: vec![fft::cplx::ZERO; 1000],
+                k: 4,
+                variant: Variant::Optimized,
+                seed: 1,
+            },
+            // k out of range for n.
+            ServeRequest {
+                time: vec![fft::cplx::ZERO; 1 << 10],
+                k: 1 << 10,
+                variant: Variant::Optimized,
+                seed: 1,
+            },
+        ];
+        let report = engine.serve_batch(&reqs);
+        assert!(report.outcomes[0].response().is_some());
+        for bad in [1, 2] {
+            match report.outcomes[bad].error() {
+                Some(CusFftError::BadRequest { .. }) => {}
+                other => panic!("expected BadRequest, got {other:?}"),
+            }
+        }
+        assert_eq!(report.faults.failed, 2);
+        assert_eq!(report.faults.worker_panics, 0, "rejected before any panic");
+    }
+
+    #[test]
+    fn persistent_faults_degrade_every_request_to_cpu() {
+        let engine = ServeEngine::new(
+            DeviceSpec::tesla_k20x(),
+            ServeConfig {
+                faults: Some(FaultConfig::persistent(3)),
+                ..ServeConfig::default()
+            },
+        );
+        let reqs: Vec<ServeRequest> = (0..4)
+            .map(|i| request(1 << 10, 4, Variant::Optimized, i, 100 + i))
+            .collect();
+        let report = engine.serve_batch(&reqs);
+        assert_eq!(report.outcomes.len(), 4);
+        for outcome in &report.outcomes {
+            let resp = outcome.response().expect("cpu fallback completes");
+            assert_eq!(resp.path, ServePath::Cpu);
+        }
+        assert_eq!(report.faults.cpu_fallbacks, 4);
+        assert_eq!(report.faults.evictions, 4);
+        assert!(report.faults.retries > 0);
+        assert!(report.faults.injected > 0);
+        assert_eq!(report.faults.failed, 0);
+    }
+
+    #[test]
+    fn persistent_faults_without_fallback_fail_typed() {
+        let engine = ServeEngine::new(
+            DeviceSpec::tesla_k20x(),
+            ServeConfig {
+                faults: Some(FaultConfig::persistent(3)),
+                cpu_fallback: false,
+                ..ServeConfig::default()
+            },
+        );
+        let reqs = vec![request(1 << 10, 4, Variant::Optimized, 1, 11)];
+        let report = engine.serve_batch(&reqs);
+        match report.outcomes[0].error() {
+            Some(CusFftError::Gpu(_)) => {}
+            other => panic!("expected a typed device error, got {other:?}"),
+        }
+        assert_eq!(report.faults.failed, 1);
+        assert_eq!(report.faults.cpu_fallbacks, 0);
     }
 }

@@ -5,8 +5,19 @@
 //! Rust ownership gives us for free what CUDA programmers enforce by
 //! convention: a buffer cannot be freed while a kernel borrows it, and
 //! host code cannot read it without an explicit device-to-host copy.
+//!
+//! Allocations made through a device's fallible entry points
+//! (`GpuDevice::try_alloc_zeroed` and friends) are charged against a
+//! [`MemPool`] sized from `DeviceSpec::global_mem_bytes` (6 GB on the
+//! paper's K20x) and release their reservation on `Drop` — so device
+//! memory is bounded and OOM is a *typed* error, not an impossibility.
+//! Direct `DeviceBuffer::zeroed`/`from_host` construction stays untracked
+//! for plan setup and tests that do not model residency.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::GpuError;
 
 /// Allocator for synthetic device addresses. Buffers get disjoint,
 /// 256-byte-aligned address ranges so the transaction analyzer never
@@ -18,33 +29,140 @@ pub(crate) fn alloc_addr(bytes: u64) -> u64 {
     NEXT_ADDR.fetch_add(aligned.max(256), Ordering::Relaxed)
 }
 
+/// Device DRAM accounting: a capacity and the bytes currently reserved.
+///
+/// Shared (via `Arc`) between a `GpuDevice` and every tracked
+/// [`DeviceBuffer`] it allocated; buffers release their reservation on
+/// `Drop`, so `used()` always reflects live allocations only.
+#[derive(Debug)]
+pub struct MemPool {
+    capacity: u64,
+    used: AtomicU64,
+}
+
+impl MemPool {
+    /// A pool of `capacity` bytes (from `DeviceSpec::global_mem_bytes`).
+    pub fn new(capacity: u64) -> Self {
+        MemPool {
+            capacity,
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently reserved by live tracked buffers.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available.
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used())
+    }
+
+    /// Reserves `bytes` (rounded up to the 256-byte allocation granule),
+    /// or reports a typed OOM without changing the accounting.
+    pub fn try_reserve(&self, bytes: u64) -> Result<u64, GpuError> {
+        let granule = ((bytes + 255) & !255).max(256);
+        // CAS loop: never lets `used` exceed `capacity`, even under
+        // concurrent allocation from several serve workers.
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let new = cur.saturating_add(granule);
+            if new > self.capacity {
+                return Err(GpuError::OutOfMemory {
+                    requested: granule,
+                    free: self.capacity.saturating_sub(cur),
+                    capacity: self.capacity,
+                });
+            }
+            match self
+                .used
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Ok(granule),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn release(&self, granule: u64) {
+        self.used.fetch_sub(granule, Ordering::Relaxed);
+    }
+}
+
 /// A typed allocation in simulated device memory.
 #[derive(Debug)]
 pub struct DeviceBuffer<T> {
     data: Vec<T>,
     base_addr: u64,
+    /// Present on buffers allocated through a device's tracked `try_*`
+    /// APIs: the pool to credit on drop and the reserved granule size.
+    reservation: Option<(Arc<MemPool>, u64)>,
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        if let Some((pool, granule)) = self.reservation.take() {
+            pool.release(granule);
+        }
+    }
 }
 
 impl<T: Copy + Default> DeviceBuffer<T> {
     /// Allocates a zero/default-initialised buffer of `len` elements.
+    ///
+    /// Untracked: no capacity check, no pool accounting. Device-resident
+    /// working memory should go through `GpuDevice::try_alloc_zeroed`.
     pub fn zeroed(len: usize) -> Self {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         DeviceBuffer {
             data: vec![T::default(); len],
             base_addr: alloc_addr(bytes),
+            reservation: None,
         }
+    }
+
+    /// Allocates a zeroed buffer charged against `pool`, failing with a
+    /// typed [`GpuError::OutOfMemory`] when the device is full.
+    pub fn zeroed_in(len: usize, pool: &Arc<MemPool>) -> Result<Self, GpuError> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        let granule = pool.try_reserve(bytes)?;
+        Ok(DeviceBuffer {
+            data: vec![T::default(); len],
+            base_addr: alloc_addr(bytes),
+            reservation: Some((Arc::clone(pool), granule)),
+        })
     }
 }
 
 impl<T: Copy> DeviceBuffer<T> {
     /// Allocates a buffer holding a copy of `host` (the data movement cost
     /// is charged by [`crate::device::GpuDevice::htod`], which calls this).
+    ///
+    /// Untracked; see [`DeviceBuffer::zeroed`] for the distinction.
     pub fn from_host(host: &[T]) -> Self {
         let bytes = std::mem::size_of_val(host) as u64;
         DeviceBuffer {
             data: host.to_vec(),
             base_addr: alloc_addr(bytes),
+            reservation: None,
         }
+    }
+
+    /// Like [`DeviceBuffer::from_host`] but charged against `pool`.
+    pub fn from_host_in(host: &[T], pool: &Arc<MemPool>) -> Result<Self, GpuError> {
+        let bytes = std::mem::size_of_val(host) as u64;
+        let granule = pool.try_reserve(bytes)?;
+        Ok(DeviceBuffer {
+            data: host.to_vec(),
+            base_addr: alloc_addr(bytes),
+            reservation: Some((Arc::clone(pool), granule)),
+        })
     }
 
     /// Element count.
@@ -140,5 +258,56 @@ mod tests {
         let b: DeviceBuffer<u8> = DeviceBuffer::zeroed(0);
         assert!(b.is_empty());
         assert_eq!(b.size_bytes(), 0);
+    }
+
+    #[test]
+    fn pool_accounts_and_releases() {
+        let pool = Arc::new(MemPool::new(4096));
+        assert_eq!(pool.free(), 4096);
+        let a: DeviceBuffer<u8> = DeviceBuffer::zeroed_in(300, &pool).unwrap();
+        // 300 B rounds up to the 512 B granule.
+        assert_eq!(pool.used(), 512);
+        assert_eq!(pool.free(), 4096 - 512);
+        drop(a);
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn pool_oom_is_typed() {
+        let pool = Arc::new(MemPool::new(1024));
+        let _a: DeviceBuffer<u8> = DeviceBuffer::zeroed_in(800, &pool).unwrap();
+        let err = DeviceBuffer::<u8>::zeroed_in(800, &pool).unwrap_err();
+        match err {
+            GpuError::OutOfMemory {
+                requested,
+                free,
+                capacity,
+            } => {
+                assert_eq!(requested, 1024);
+                assert_eq!(free, 0);
+                assert_eq!(capacity, 1024);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        // Failed reservation leaves accounting untouched.
+        assert_eq!(pool.used(), 1024);
+    }
+
+    #[test]
+    fn zero_len_alloc_still_reserves_a_granule() {
+        let pool = Arc::new(MemPool::new(1024));
+        let b: DeviceBuffer<u8> = DeviceBuffer::zeroed_in(0, &pool).unwrap();
+        assert_eq!(pool.used(), 256);
+        drop(b);
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn from_host_in_tracks() {
+        let pool = Arc::new(MemPool::new(1024));
+        let host = vec![1u32, 2, 3];
+        let b = DeviceBuffer::from_host_in(&host, &pool).unwrap();
+        assert_eq!(b.peek(), host);
+        assert_eq!(pool.used(), 256);
     }
 }

@@ -31,11 +31,30 @@
 //! to the timeline; [`GpuDevice::elapsed`] replays the stream schedule and
 //! returns the simulated makespan.
 
+//!
+//! # Faults
+//!
+//! Every fallible entry point (`try_*`) consults the device's installed
+//! [`FaultConfig`] (if any) *before* doing the work: a failed launch
+//! executes no blocks and a failed transfer moves no data, so retrying
+//! after a fault never double-applies side effects (atomics included).
+//! Injected faults are recorded as timeline ops (`fault:<kind>:<name>`)
+//! charging the time the failure wasted. Tracked allocations are charged
+//! against a [`MemPool`] sized from `DeviceSpec::global_mem_bytes`, so
+//! OOM can also happen for real. The infallible legacy entry points
+//! (`htod`, `launch_map`, …) delegate to the `try_*` forms and are valid
+//! only on devices without a fault plan and within memory capacity —
+//! they document that invariant in their `expect` messages.
+
+use std::sync::Arc;
+
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
-use crate::buffer::DeviceBuffer;
+use crate::buffer::{DeviceBuffer, MemPool};
 use crate::cost::{bound_by, kernel_cost, transfer_time, KernelCost};
+use crate::error::{GpuError, TransferDir};
+use crate::fault::{FaultClass, FaultConfig, FaultState};
 use crate::gmem::Gmem;
 use crate::launch::{LaunchConfig, ThreadCtx};
 use crate::metrics::{aggregate, KernelStats};
@@ -81,25 +100,33 @@ struct DeviceState {
     /// Event waits registered per stream, attached to that stream's next
     /// enqueued op (CUDA `cudaStreamWaitEvent`).
     pending_waits: Vec<(StreamId, usize)>,
+    /// Installed fault plan, if any. Lives under the state lock so fault
+    /// ordinals are consumed in op-enqueue order.
+    fault: Option<FaultState>,
 }
 
 /// A simulated CUDA device.
 pub struct GpuDevice {
     spec: DeviceSpec,
+    /// Device DRAM accounting for tracked allocations.
+    pool: Arc<MemPool>,
     state: Mutex<DeviceState>,
 }
 
 impl GpuDevice {
     /// Creates a device with the given spec.
     pub fn new(spec: DeviceSpec) -> Self {
+        let pool = Arc::new(MemPool::new(spec.global_mem_bytes as u64));
         GpuDevice {
             spec,
+            pool,
             state: Mutex::new(DeviceState {
                 ops: Vec::new(),
                 records: Vec::new(),
                 next_stream: 1,
                 events: Vec::new(),
                 pending_waits: Vec::new(),
+                fault: None,
             }),
         }
     }
@@ -112,6 +139,47 @@ impl GpuDevice {
     /// Device specification.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
+    }
+
+    /// Installs a deterministic fault plan: subsequent `try_*` calls roll
+    /// against it. Replaces any previous plan and resets its counters.
+    pub fn install_fault_plan(&self, config: FaultConfig) {
+        self.state.lock().fault = Some(FaultState::new(config));
+    }
+
+    /// Removes the fault plan; `try_*` calls stop faulting.
+    pub fn clear_fault_plan(&self) {
+        self.state.lock().fault = None;
+    }
+
+    /// Enters fault scope `scope` (see `crate::fault`): fault decisions
+    /// become a pure function of `(seed, scope, op ordinal within the
+    /// scope)`, independent of what ran on this device before. No-op
+    /// without an installed plan.
+    pub fn set_fault_scope(&self, scope: u64) {
+        if let Some(f) = self.state.lock().fault.as_mut() {
+            f.set_scope(scope);
+        }
+    }
+
+    /// Number of faults injected since the plan was installed.
+    pub fn faults_injected(&self) -> u64 {
+        self.state.lock().fault.as_ref().map_or(0, |f| f.injected())
+    }
+
+    /// Total device memory (`DeviceSpec::global_mem_bytes`).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.pool.capacity()
+    }
+
+    /// Bytes reserved by live tracked allocations.
+    pub fn used_bytes(&self) -> u64 {
+        self.pool.used()
+    }
+
+    /// Bytes available to tracked allocations.
+    pub fn free_bytes(&self) -> u64 {
+        self.pool.free()
     }
 
     /// Creates a new stream.
@@ -154,23 +222,190 @@ impl GpuDevice {
         deps
     }
 
-    /// Host→device copy; charges PCIe time on `stream`.
-    pub fn htod<T: Copy>(&self, host: &[T], stream: StreamId) -> DeviceBuffer<T> {
-        let buf = DeviceBuffer::from_host(host);
-        self.push_transfer("htod", buf.size_bytes(), stream);
-        buf
+    /// Rolls the fault decision for the next device op; must be called
+    /// with the state lock held so ordinals follow op-enqueue order.
+    fn decide_fault(
+        st: &mut DeviceState,
+        classes: &[FaultClass],
+    ) -> Option<(FaultClass, FaultConfig)> {
+        let f = st.fault.as_mut()?;
+        let cfg = f.config;
+        f.decide(classes).map(|c| (c, cfg))
     }
 
-    /// Allocates a zeroed device buffer (cudaMalloc+cudaMemset; modelled
-    /// as free, matching the paper's timing which excludes allocation).
+    /// Records an injected fault as a timeline op charging the time the
+    /// failure wasted (`fault:<kind>:<what>`).
+    fn push_fault_op(
+        st: &mut DeviceState,
+        class: FaultClass,
+        what: &str,
+        engine: Engine,
+        duration: f64,
+        stream: StreamId,
+    ) {
+        let id = st.ops.len();
+        let label = format!("fault:{}:{what}", class.label());
+        let mut op = Op::new(id, stream, engine, duration, label.clone());
+        op.wait_for = Self::take_waits(st, stream);
+        st.ops.push(op);
+        st.records.push(LaunchRecord {
+            name: label,
+            stats: KernelStats::default(),
+            cost: KernelCost {
+                total: duration,
+                ..Default::default()
+            },
+            stream,
+            bound: "fault",
+        });
+    }
+
+    /// Host→device copy; charges PCIe time on `stream`. The allocation is
+    /// tracked against device capacity; the copy can fault (injected OOM
+    /// or transfer failure). A failed transfer still occupied the copy
+    /// engine for its full duration (recorded as a `fault:` op) but moved
+    /// no data.
+    pub fn try_htod<T: Copy>(
+        &self,
+        host: &[T],
+        stream: StreamId,
+    ) -> Result<DeviceBuffer<T>, GpuError> {
+        let bytes = std::mem::size_of_val(host);
+        {
+            let mut st = self.state.lock();
+            match Self::decide_fault(&mut st, &[FaultClass::Alloc, FaultClass::H2d]) {
+                Some((FaultClass::Alloc, _)) => {
+                    Self::push_fault_op(&mut st, FaultClass::Alloc, "htod", Engine::Pcie, 0.0, stream);
+                    return Err(GpuError::OutOfMemory {
+                        requested: bytes as u64,
+                        free: self.pool.free(),
+                        capacity: self.pool.capacity(),
+                    });
+                }
+                Some((FaultClass::H2d, _)) => {
+                    let dur = transfer_time(&self.spec, bytes);
+                    Self::push_fault_op(&mut st, FaultClass::H2d, "htod", Engine::Pcie, dur, stream);
+                    return Err(GpuError::TransferFailure {
+                        dir: TransferDir::HostToDevice,
+                        bytes,
+                    });
+                }
+                _ => {}
+            }
+        }
+        let buf = DeviceBuffer::from_host_in(host, &self.pool)?;
+        self.push_transfer("htod", buf.size_bytes(), stream);
+        Ok(buf)
+    }
+
+    /// Host→device copy; charges PCIe time on `stream`.
+    ///
+    /// Invariant: valid only on a device without a fault plan and within
+    /// memory capacity — serving-path code uses [`GpuDevice::try_htod`].
+    pub fn htod<T: Copy>(&self, host: &[T], stream: StreamId) -> DeviceBuffer<T> {
+        self.try_htod(host, stream)
+            .expect("htod on a fault-free device within capacity")
+    }
+
+    /// Allocates a zeroed device buffer, tracked against device capacity
+    /// (cudaMalloc+cudaMemset; modelled as time-free, matching the
+    /// paper's timing which excludes allocation — but no longer
+    /// *capacity*-free). Fails with a typed OOM when the device is full
+    /// or an OOM fault is injected.
+    pub fn try_alloc_zeroed<T: Copy + Default>(
+        &self,
+        len: usize,
+        stream: StreamId,
+    ) -> Result<DeviceBuffer<T>, GpuError> {
+        {
+            let mut st = self.state.lock();
+            if let Some((FaultClass::Alloc, _)) = Self::decide_fault(&mut st, &[FaultClass::Alloc])
+            {
+                Self::push_fault_op(&mut st, FaultClass::Alloc, "alloc", Engine::Device, 0.0, stream);
+                return Err(GpuError::OutOfMemory {
+                    requested: (len * std::mem::size_of::<T>()) as u64,
+                    free: self.pool.free(),
+                    capacity: self.pool.capacity(),
+                });
+            }
+        }
+        DeviceBuffer::zeroed_in(len, &self.pool)
+    }
+
+    /// Allocates a zeroed device buffer.
+    ///
+    /// Invariant: valid only on a device without a fault plan and within
+    /// memory capacity — serving-path code uses
+    /// [`GpuDevice::try_alloc_zeroed`].
     pub fn alloc_zeroed<T: Copy + Default>(&self, len: usize) -> DeviceBuffer<T> {
-        DeviceBuffer::zeroed(len)
+        self.try_alloc_zeroed(len, DEFAULT_STREAM)
+            .expect("alloc on a fault-free device within capacity")
+    }
+
+    /// Makes `host` resident on the device as a tracked allocation
+    /// *without* charging PCIe time — for data whose staging cost is
+    /// accounted elsewhere (e.g. a serving request's signal, pinned once
+    /// per batch). Subject to capacity and injected OOM.
+    pub fn try_resident<T: Copy>(
+        &self,
+        host: &[T],
+        stream: StreamId,
+    ) -> Result<DeviceBuffer<T>, GpuError> {
+        {
+            let mut st = self.state.lock();
+            if let Some((FaultClass::Alloc, _)) = Self::decide_fault(&mut st, &[FaultClass::Alloc])
+            {
+                Self::push_fault_op(&mut st, FaultClass::Alloc, "resident", Engine::Device, 0.0, stream);
+                return Err(GpuError::OutOfMemory {
+                    requested: std::mem::size_of_val(host) as u64,
+                    free: self.pool.free(),
+                    capacity: self.pool.capacity(),
+                });
+            }
+        }
+        DeviceBuffer::from_host_in(host, &self.pool)
+    }
+
+    /// Device→host copy; charges PCIe time on `stream`. Can fault with a
+    /// transfer failure or a detected-uncorrectable ECC error (both
+    /// transient: the copy engine time is charged, no data is returned,
+    /// and a retry rolls a fresh decision).
+    pub fn try_dtoh<T: Copy>(
+        &self,
+        buf: &DeviceBuffer<T>,
+        stream: StreamId,
+    ) -> Result<Vec<T>, GpuError> {
+        let bytes = buf.size_bytes();
+        {
+            let mut st = self.state.lock();
+            match Self::decide_fault(&mut st, &[FaultClass::D2h, FaultClass::Ecc]) {
+                Some((FaultClass::D2h, _)) => {
+                    let dur = transfer_time(&self.spec, bytes);
+                    Self::push_fault_op(&mut st, FaultClass::D2h, "dtoh", Engine::Pcie, dur, stream);
+                    return Err(GpuError::TransferFailure {
+                        dir: TransferDir::DeviceToHost,
+                        bytes,
+                    });
+                }
+                Some((FaultClass::Ecc, _)) => {
+                    let dur = transfer_time(&self.spec, bytes);
+                    Self::push_fault_op(&mut st, FaultClass::Ecc, "dtoh", Engine::Pcie, dur, stream);
+                    return Err(GpuError::EccCorruption { buffer_bytes: bytes });
+                }
+                _ => {}
+            }
+        }
+        self.push_transfer("dtoh", bytes, stream);
+        Ok(buf.peek())
     }
 
     /// Device→host copy; charges PCIe time on `stream`.
+    ///
+    /// Invariant: valid only on a device without a fault plan —
+    /// serving-path code uses [`GpuDevice::try_dtoh`].
     pub fn dtoh<T: Copy>(&self, buf: &DeviceBuffer<T>, stream: StreamId) -> Vec<T> {
-        self.push_transfer("dtoh", buf.size_bytes(), stream);
-        buf.peek()
+        self.try_dtoh(buf, stream)
+            .expect("dtoh on a fault-free device")
     }
 
     fn push_transfer(&self, label: &str, bytes: usize, stream: StreamId) {
@@ -192,9 +427,49 @@ impl GpuDevice {
         });
     }
 
+    /// Rolls the launch-fault gate for a kernel named `name`: on a fault,
+    /// records the wasted time (launch overhead for a failed launch, the
+    /// watchdog window for a timeout) and reports the typed error — the
+    /// kernel must then execute **no** blocks, so retries never
+    /// double-apply side effects.
+    fn launch_fault_gate(&self, name: &str, stream: StreamId) -> Result<(), GpuError> {
+        let mut st = self.state.lock();
+        match Self::decide_fault(&mut st, &[FaultClass::Launch, FaultClass::Timeout]) {
+            Some((FaultClass::Launch, _)) => {
+                let dur = self.spec.launch_overhead_us * 1e-6;
+                Self::push_fault_op(&mut st, FaultClass::Launch, name, Engine::Device, dur, stream);
+                Err(GpuError::LaunchFailure {
+                    kernel: name.to_string(),
+                })
+            }
+            Some((FaultClass::Timeout, cfg)) => {
+                Self::push_fault_op(
+                    &mut st,
+                    FaultClass::Timeout,
+                    name,
+                    Engine::Device,
+                    cfg.timeout_s,
+                    stream,
+                );
+                Err(GpuError::LaunchTimeout {
+                    kernel: name.to_string(),
+                    waited_s: cfg.timeout_s,
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Charges an externally-modelled device operation (used by the cuFFT
-    /// model, whose internals we do not trace kernel-by-kernel).
-    pub fn charge_device_op(&self, label: &str, duration: f64, stream: StreamId) {
+    /// model, whose internals we do not trace kernel-by-kernel). Subject
+    /// to the same launch faults as a traced kernel.
+    pub fn try_charge_device_op(
+        &self,
+        label: &str,
+        duration: f64,
+        stream: StreamId,
+    ) -> Result<(), GpuError> {
+        self.launch_fault_gate(label, stream)?;
         let mut st = self.state.lock();
         let id = st.ops.len();
         let mut op = Op::new(id, stream, Engine::Device, duration, label.to_string());
@@ -210,10 +485,63 @@ impl GpuDevice {
             stream,
             bound: "modelled",
         });
+        Ok(())
+    }
+
+    /// Charges an externally-modelled device operation.
+    ///
+    /// Invariant: valid only on a device without a fault plan —
+    /// serving-path code uses [`GpuDevice::try_charge_device_op`].
+    pub fn charge_device_op(&self, label: &str, duration: f64, stream: StreamId) {
+        self.try_charge_device_op(label, duration, stream)
+            .expect("modelled op on a fault-free device");
+    }
+
+    /// Charges a host-side wait (retry backoff, watchdog recovery) on
+    /// `stream`. Host ops occupy only their own stream — no device share,
+    /// no kernel slot, no copy engine — and never fault.
+    pub fn charge_host_op(&self, label: &str, duration: f64, stream: StreamId) {
+        let mut st = self.state.lock();
+        let id = st.ops.len();
+        let mut op = Op::new(id, stream, Engine::Host, duration, label.to_string());
+        op.wait_for = Self::take_waits(&mut st, stream);
+        st.ops.push(op);
+        st.records.push(LaunchRecord {
+            name: label.to_string(),
+            stats: KernelStats::default(),
+            cost: KernelCost {
+                total: duration,
+                ..Default::default()
+            },
+            stream,
+            bound: "host",
+        });
     }
 
     /// Launches a map kernel: thread `tid` computes `out[tid] = f(ctx, gm)`
-    /// for `tid < out.len()`. The grid must cover the output.
+    /// for `tid < out.len()`. The grid must cover the output. On an
+    /// injected launch fault no block executes and `out` is untouched.
+    pub fn try_launch_map<T, F>(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        stream: StreamId,
+        out: &mut DeviceBuffer<T>,
+        f: F,
+    ) -> Result<(), GpuError>
+    where
+        T: Copy + Send + Sync,
+        F: Fn(ThreadCtx, &mut Gmem<'_>) -> T + Sync,
+    {
+        self.launch_fault_gate(name, stream)?;
+        self.launch_map_inner(name, cfg, stream, out, f, false);
+        Ok(())
+    }
+
+    /// Launches a map kernel.
+    ///
+    /// Invariant: valid only on a device without a fault plan —
+    /// serving-path code uses [`GpuDevice::try_launch_map`].
     pub fn launch_map<T, F>(
         &self,
         name: &str,
@@ -225,14 +553,42 @@ impl GpuDevice {
         T: Copy + Send + Sync,
         F: Fn(ThreadCtx, &mut Gmem<'_>) -> T + Sync,
     {
-        self.launch_map_inner(name, cfg, stream, out, f, false);
+        self.try_launch_map(name, cfg, stream, out, f)
+            .expect("launch on a fault-free device");
     }
 
-    /// Like [`GpuDevice::launch_map`], but the output is an L2-resident
-    /// scratch buffer consumed by the next kernel on the stream before it
-    /// can be evicted: the stores are not charged as DRAM traffic. The
-    /// caller must ensure `out` fits in L2
+    /// Like [`GpuDevice::try_launch_map`], but the output is an
+    /// L2-resident scratch buffer consumed by the next kernel on the
+    /// stream before it can be evicted: the stores are not charged as DRAM
+    /// traffic. The caller must ensure `out` fits in L2
     /// ([`crate::spec::DeviceSpec::l2_bytes`]).
+    pub fn try_launch_map_scratch<T, F>(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        stream: StreamId,
+        out: &mut DeviceBuffer<T>,
+        f: F,
+    ) -> Result<(), GpuError>
+    where
+        T: Copy + Send + Sync,
+        F: Fn(ThreadCtx, &mut Gmem<'_>) -> T + Sync,
+    {
+        assert!(
+            out.size_bytes() <= self.spec.l2_bytes,
+            "scratch buffer ({} B) exceeds L2 ({} B)",
+            out.size_bytes(),
+            self.spec.l2_bytes
+        );
+        self.launch_fault_gate(name, stream)?;
+        self.launch_map_inner(name, cfg, stream, out, f, true);
+        Ok(())
+    }
+
+    /// Launches a scratch-output map kernel.
+    ///
+    /// Invariant: valid only on a device without a fault plan —
+    /// serving-path code uses [`GpuDevice::try_launch_map_scratch`].
     pub fn launch_map_scratch<T, F>(
         &self,
         name: &str,
@@ -244,13 +600,8 @@ impl GpuDevice {
         T: Copy + Send + Sync,
         F: Fn(ThreadCtx, &mut Gmem<'_>) -> T + Sync,
     {
-        assert!(
-            out.size_bytes() <= self.spec.l2_bytes,
-            "scratch buffer ({} B) exceeds L2 ({} B)",
-            out.size_bytes(),
-            self.spec.l2_bytes
-        );
-        self.launch_map_inner(name, cfg, stream, out, f, true);
+        self.try_launch_map_scratch(name, cfg, stream, out, f)
+            .expect("launch on a fault-free device");
     }
 
     fn launch_map_inner<T, F>(
@@ -327,7 +678,36 @@ impl GpuDevice {
 
     /// Launches a side-effect kernel: every thread runs `f(ctx, gm)`;
     /// writes go through [`crate::atomic`] arrays captured by the closure.
+    /// On an injected launch fault no block executes, so the atomics the
+    /// closure captures are untouched — a retry starts from clean state.
+    pub fn try_launch_foreach<F>(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        stream: StreamId,
+        f: F,
+    ) -> Result<(), GpuError>
+    where
+        F: Fn(ThreadCtx, &mut Gmem<'_>) + Sync,
+    {
+        self.launch_fault_gate(name, stream)?;
+        self.launch_foreach_inner(name, cfg, stream, f);
+        Ok(())
+    }
+
+    /// Launches a side-effect kernel.
+    ///
+    /// Invariant: valid only on a device without a fault plan —
+    /// serving-path code uses [`GpuDevice::try_launch_foreach`].
     pub fn launch_foreach<F>(&self, name: &str, cfg: LaunchConfig, stream: StreamId, f: F)
+    where
+        F: Fn(ThreadCtx, &mut Gmem<'_>) + Sync,
+    {
+        self.try_launch_foreach(name, cfg, stream, f)
+            .expect("launch on a fault-free device");
+    }
+
+    fn launch_foreach_inner<F>(&self, name: &str, cfg: LaunchConfig, stream: StreamId, f: F)
     where
         F: Fn(ThreadCtx, &mut Gmem<'_>) + Sync,
     {
@@ -620,6 +1000,106 @@ mod tests {
             "extrapolated traffic off by {ratio}"
         );
         assert!(rec.stats.sampled_warps < rec.stats.warps);
+    }
+
+    #[test]
+    fn tracked_allocations_respect_capacity() {
+        let dev = GpuDevice::new(DeviceSpec::test_tiny()); // 64 MiB
+        assert_eq!(dev.capacity_bytes(), 64 * 1024 * 1024);
+        assert_eq!(dev.used_bytes(), 0);
+        let a: DeviceBuffer<u8> = dev
+            .try_alloc_zeroed(48 * 1024 * 1024, DEFAULT_STREAM)
+            .unwrap();
+        assert_eq!(dev.used_bytes(), 48 * 1024 * 1024);
+        let err = dev
+            .try_alloc_zeroed::<u8>(32 * 1024 * 1024, DEFAULT_STREAM)
+            .unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { .. }));
+        drop(a);
+        assert_eq!(dev.used_bytes(), 0);
+        assert!(dev
+            .try_alloc_zeroed::<u8>(32 * 1024 * 1024, DEFAULT_STREAM)
+            .is_ok());
+    }
+
+    #[test]
+    fn htod_allocation_is_tracked_and_released() {
+        let dev = GpuDevice::new(DeviceSpec::test_tiny());
+        let host = vec![0u8; 1024];
+        let buf = dev.try_htod(&host, DEFAULT_STREAM).unwrap();
+        assert_eq!(dev.used_bytes(), 1024);
+        drop(buf);
+        assert_eq!(dev.used_bytes(), 0);
+    }
+
+    #[test]
+    fn persistent_faults_fail_every_op_and_record_them() {
+        let dev = GpuDevice::new(DeviceSpec::test_tiny());
+        dev.install_fault_plan(FaultConfig::persistent(42));
+        let host = vec![0f64; 256];
+        assert!(dev.try_htod(&host, DEFAULT_STREAM).is_err());
+        let mut out: DeviceBuffer<f64> = DeviceBuffer::zeroed(256);
+        let err = dev
+            .try_launch_map(
+                "k",
+                LaunchConfig::for_elements(256, 64),
+                DEFAULT_STREAM,
+                &mut out,
+                |_, _| 1.0,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GpuError::LaunchFailure { .. } | GpuError::LaunchTimeout { .. }
+        ));
+        // The failed launch executed no blocks.
+        assert!(out.as_slice().iter().all(|&x| x == 0.0));
+        assert!(dev.try_dtoh(&out, DEFAULT_STREAM).is_err());
+        assert!(dev.faults_injected() >= 3);
+        // Every fault left an op on the timeline.
+        let fault_ops = dev
+            .ops()
+            .iter()
+            .filter(|o| o.label.starts_with("fault:"))
+            .count();
+        assert_eq!(fault_ops as u64, dev.faults_injected());
+        // And the device works again once the plan is removed.
+        dev.clear_fault_plan();
+        assert!(dev.try_htod(&host, DEFAULT_STREAM).is_ok());
+        assert_eq!(dev.faults_injected(), 0);
+    }
+
+    #[test]
+    fn fault_decisions_replay_per_scope() {
+        let run = |dev: &GpuDevice| -> Vec<bool> {
+            dev.set_fault_scope(3);
+            let host = vec![0u32; 64];
+            (0..32)
+                .map(|_| dev.try_htod(&host, DEFAULT_STREAM).is_err())
+                .collect()
+        };
+        let mk = || {
+            let dev = GpuDevice::new(DeviceSpec::test_tiny());
+            dev.install_fault_plan(FaultConfig::uniform(9, 0.3));
+            dev
+        };
+        let a = mk();
+        let b = mk();
+        // Different history on b before entering the scope.
+        b.set_fault_scope(77);
+        let _ = b.try_htod(&[0u32; 8], DEFAULT_STREAM);
+        assert_eq!(run(&a), run(&b), "scope decisions must not depend on history");
+    }
+
+    #[test]
+    fn host_ops_do_not_slow_the_device() {
+        let dev = GpuDevice::new(DeviceSpec::test_tiny());
+        dev.charge_device_op("k", 1e-3, DEFAULT_STREAM);
+        let t_kernel = dev.elapsed();
+        let s2 = dev.create_stream();
+        dev.charge_host_op("backoff", 0.5e-3, s2);
+        // The concurrent host wait neither extends nor dilutes the kernel.
+        assert!((dev.elapsed() - t_kernel).abs() < 1e-15);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Typed, recoverable device errors.
+//!
+//! Real GPU services fail in well-characterised ways — allocation failure
+//! against the K20x's 6 GB, PCIe transfer errors, kernel launch failures
+//! and watchdog timeouts, ECC-detected memory corruption. Every fallible
+//! device entry point (`GpuDevice::try_*`) reports one of these variants
+//! instead of panicking, so callers can retry, evict the failing request,
+//! or degrade to a CPU path (see `cusfft::serve`).
+
+/// Direction of a host↔device transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Host → device (`cudaMemcpyHostToDevice`).
+    HostToDevice,
+    /// Device → host (`cudaMemcpyDeviceToHost`).
+    DeviceToHost,
+}
+
+impl std::fmt::Display for TransferDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferDir::HostToDevice => write!(f, "htod"),
+            TransferDir::DeviceToHost => write!(f, "dtoh"),
+        }
+    }
+}
+
+/// A recoverable device-side failure.
+///
+/// Variants map onto the CUDA error classes a production service must
+/// survive (`cudaErrorMemoryAllocation`, transfer failures,
+/// `cudaErrorLaunchFailure` / `cudaErrorLaunchTimeout`, and detected
+/// double-bit ECC errors). All of them are injectable through
+/// [`crate::fault::FaultConfig`]; `OutOfMemory` can also occur for real
+/// when tracked allocations exceed [`crate::spec::DeviceSpec::global_mem_bytes`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuError {
+    /// Device DRAM exhausted: a tracked allocation did not fit.
+    OutOfMemory {
+        /// Bytes the allocation asked for (256-byte aligned).
+        requested: u64,
+        /// Bytes free at the time of the request.
+        free: u64,
+        /// Total device capacity (`DeviceSpec::global_mem_bytes`).
+        capacity: u64,
+    },
+    /// A host↔device copy failed after occupying the copy engine.
+    TransferFailure {
+        /// Which direction the copy was going.
+        dir: TransferDir,
+        /// Payload size.
+        bytes: usize,
+    },
+    /// A kernel failed at launch (no blocks executed, only the launch
+    /// overhead was charged).
+    LaunchFailure {
+        /// Kernel label.
+        kernel: String,
+    },
+    /// A kernel hit the watchdog: the timeout window was charged on the
+    /// timeline and the launch produced no results.
+    LaunchTimeout {
+        /// Kernel label.
+        kernel: String,
+        /// Simulated seconds the watchdog waited before killing it.
+        waited_s: f64,
+    },
+    /// ECC detected an uncorrectable error in the data a device→host copy
+    /// read. Transient by nature — the device retires the page and a
+    /// retry re-reads clean data.
+    EccCorruption {
+        /// Size of the affected buffer.
+        buffer_bytes: usize,
+    },
+}
+
+impl std::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                requested,
+                free,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B with {free} B free \
+                 of {capacity} B"
+            ),
+            GpuError::TransferFailure { dir, bytes } => {
+                write!(f, "{dir} transfer of {bytes} B failed")
+            }
+            GpuError::LaunchFailure { kernel } => write!(f, "kernel '{kernel}' failed to launch"),
+            GpuError::LaunchTimeout { kernel, waited_s } => {
+                write!(f, "kernel '{kernel}' timed out after {waited_s:.3e} s")
+            }
+            GpuError::EccCorruption { buffer_bytes } => {
+                write!(f, "ECC uncorrectable error in {buffer_bytes} B buffer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GpuError::OutOfMemory {
+            requested: 1024,
+            free: 512,
+            capacity: 2048,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1024") && s.contains("512") && s.contains("2048"));
+
+        let e = GpuError::TransferFailure {
+            dir: TransferDir::DeviceToHost,
+            bytes: 64,
+        };
+        assert!(e.to_string().contains("dtoh"));
+
+        let e = GpuError::LaunchTimeout {
+            kernel: "remap".into(),
+            waited_s: 0.1,
+        };
+        assert!(e.to_string().contains("remap"));
+
+        let e = GpuError::EccCorruption { buffer_bytes: 128 };
+        assert!(e.to_string().contains("ECC"));
+
+        let e = GpuError::LaunchFailure {
+            kernel: "locate".into(),
+        };
+        assert!(e.to_string().contains("locate"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = GpuError::LaunchFailure { kernel: "k".into() };
+        let b = GpuError::LaunchFailure { kernel: "k".into() };
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            GpuError::LaunchTimeout {
+                kernel: "k".into(),
+                waited_s: 0.0
+            }
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultConfig`] installed on a [`crate::device::GpuDevice`] makes the
+//! simulator inject the failure modes of the paper's K20x test-bench
+//! (device OOM against the 6 GB capacity, PCIe transfer errors, kernel
+//! launch failures and watchdog timeouts, ECC-detected corruption) as
+//! **typed errors** from the device's `try_*` entry points.
+//!
+//! Determinism is the whole design: whether op number `i` of fault scope
+//! `s` faults is a *pure function* of `(seed, s, i, fault class)` — a
+//! splitmix64 hash compared against the class's rate. No wall clock, no
+//! OS randomness, no dependence on host-thread scheduling. Identical
+//! `(workload, fault seed)` therefore replays an identical fault
+//! timeline at any `CUSFFT_HOST_THREADS` or serve-worker width, which is
+//! what lets `tests/fault_injection.rs` pin recovery behaviour
+//! bit-for-bit.
+//!
+//! **Scopes** decouple fault decisions from physical devices: the serving
+//! layer executes request group `g` under fault scope `g` regardless of
+//! which worker (and hence which private device) runs it, so the set of
+//! injected faults — and every recovery decision downstream of it — is
+//! invariant to the worker count.
+//!
+//! Every injected fault is recorded as an op on the simulated timeline
+//! (label `fault:<kind>:<what>`), charging the work the failure wasted:
+//! a failed transfer occupied the copy engine for its full duration, a
+//! timed-out kernel held the device for the watchdog window, a failed
+//! launch burned its launch overhead. Faults are therefore *observable*
+//! in makespans and profiler reports, not silent control flow.
+
+/// The operation classes faults attach to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Tracked device allocation (`try_alloc_zeroed`, `try_resident`,
+    /// the allocation half of `try_htod`).
+    Alloc,
+    /// Host→device copy.
+    H2d,
+    /// Device→host copy.
+    D2h,
+    /// Kernel launch (map/foreach/modelled device op).
+    Launch,
+    /// Kernel watchdog timeout.
+    Timeout,
+    /// ECC-detected corruption on a device→host read.
+    Ecc,
+}
+
+impl FaultClass {
+    /// Stable per-class salt for the decision hash.
+    fn salt(self) -> u64 {
+        match self {
+            FaultClass::Alloc => 0x01,
+            FaultClass::H2d => 0x02,
+            FaultClass::D2h => 0x03,
+            FaultClass::Launch => 0x04,
+            FaultClass::Timeout => 0x05,
+            FaultClass::Ecc => 0x06,
+        }
+    }
+
+    /// Short label used in timeline op names (`fault:<label>:…`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::Alloc => "oom",
+            FaultClass::H2d => "htod",
+            FaultClass::D2h => "dtoh",
+            FaultClass::Launch => "launch",
+            FaultClass::Timeout => "timeout",
+            FaultClass::Ecc => "ecc",
+        }
+    }
+}
+
+/// Injection rates per fault class, plus the seed that makes the plan a
+/// pure function.
+///
+/// A rate of `0.0` disables the class, `1.0` makes every applicable op
+/// fail (a *persistent* device failure — the serving layer's cue to
+/// degrade to the CPU path). Small rates model transient faults that
+/// bounded retry rides out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the fault plan. Same seed → same fault timeline, always.
+    pub seed: u64,
+    /// Device allocation failures (on top of real capacity exhaustion).
+    pub oom_rate: f64,
+    /// Host→device transfer failures.
+    pub h2d_rate: f64,
+    /// Device→host transfer failures.
+    pub d2h_rate: f64,
+    /// Kernel launch failures (fail before any block executes).
+    pub launch_rate: f64,
+    /// Kernel watchdog timeouts.
+    pub timeout_rate: f64,
+    /// ECC-detected corruption on device→host reads.
+    pub ecc_rate: f64,
+    /// Simulated seconds a timed-out kernel holds the device before the
+    /// watchdog kills it (charged on the timeline).
+    pub timeout_s: f64,
+}
+
+impl FaultConfig {
+    /// Uniform transient faults: every class fires at `rate`.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            oom_rate: rate,
+            h2d_rate: rate,
+            d2h_rate: rate,
+            launch_rate: rate,
+            timeout_rate: rate,
+            ecc_rate: rate,
+            timeout_s: 1e-3,
+        }
+    }
+
+    /// A persistently broken device: every operation faults. Retry can
+    /// never succeed; only CPU fallback completes requests.
+    pub fn persistent(seed: u64) -> Self {
+        Self::uniform(seed, 1.0)
+    }
+
+    /// Rate for one class.
+    pub fn rate(&self, class: FaultClass) -> f64 {
+        match class {
+            FaultClass::Alloc => self.oom_rate,
+            FaultClass::H2d => self.h2d_rate,
+            FaultClass::D2h => self.d2h_rate,
+            FaultClass::Launch => self.launch_rate,
+            FaultClass::Timeout => self.timeout_rate,
+            FaultClass::Ecc => self.ecc_rate,
+        }
+    }
+}
+
+/// splitmix64 — tiny, well-mixed, and already the idiom the vendored
+/// `rand` uses for seeding.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The decision function: uniform in `[0, 1)` as a pure function of
+/// `(seed, scope, ordinal, class)`.
+pub fn fault_roll(seed: u64, scope: u64, ordinal: u64, class: FaultClass) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(scope ^ splitmix64(ordinal ^ (class.salt() << 56))));
+    // 53 mantissa bits → exact double in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Mutable per-device injection state: the config plus the current scope
+/// and the op ordinal within it. Lives inside the device's state mutex so
+/// ordinals are assigned in op-enqueue order.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    pub(crate) config: FaultConfig,
+    scope: u64,
+    ordinal: u64,
+    injected: u64,
+}
+
+impl FaultState {
+    pub(crate) fn new(config: FaultConfig) -> Self {
+        FaultState {
+            config,
+            scope: 0,
+            ordinal: 0,
+            injected: 0,
+        }
+    }
+
+    /// Enters fault scope `scope` and restarts the op ordinal, so the
+    /// decisions taken inside the scope depend only on the scope id and
+    /// the op sequence within it — not on what ran before on this device.
+    pub(crate) fn set_scope(&mut self, scope: u64) {
+        self.scope = scope;
+        self.ordinal = 0;
+    }
+
+    /// Takes the decision for the next device op. `classes` lists the
+    /// fault classes applicable to the op in priority order; the first
+    /// one whose roll comes in under its rate fires. Exactly one ordinal
+    /// is consumed whether or not a fault fires.
+    pub(crate) fn decide(&mut self, classes: &[FaultClass]) -> Option<FaultClass> {
+        let ordinal = self.ordinal;
+        self.ordinal += 1;
+        for &class in classes {
+            let rate = self.config.rate(class);
+            if rate > 0.0 && fault_roll(self.config.seed, self.scope, ordinal, class) < rate {
+                self.injected += 1;
+                return Some(class);
+            }
+        }
+        None
+    }
+
+    /// Total faults injected since the plan was installed.
+    pub(crate) fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roll_is_a_pure_function() {
+        for (seed, scope, ord) in [(0u64, 0u64, 0u64), (1, 2, 3), (u64::MAX, 7, 99)] {
+            let a = fault_roll(seed, scope, ord, FaultClass::Launch);
+            let b = fault_roll(seed, scope, ord, FaultClass::Launch);
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert!((0.0..1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn classes_roll_independently() {
+        // Same coordinates, different classes → different rolls (salted).
+        let a = fault_roll(42, 0, 0, FaultClass::Launch);
+        let b = fault_roll(42, 0, 0, FaultClass::Timeout);
+        assert_ne!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn rates_are_respected_statistically() {
+        let cfg = FaultConfig::uniform(7, 0.25);
+        let mut st = FaultState::new(cfg);
+        let mut fired = 0;
+        let trials = 4000;
+        for _ in 0..trials {
+            if st.decide(&[FaultClass::Launch]).is_some() {
+                fired += 1;
+            }
+        }
+        let frac = fired as f64 / trials as f64;
+        assert!(
+            (0.2..0.3).contains(&frac),
+            "25% rate produced {frac} over {trials} trials"
+        );
+        assert_eq!(st.injected(), fired);
+    }
+
+    #[test]
+    fn persistent_config_always_fires() {
+        let mut st = FaultState::new(FaultConfig::persistent(3));
+        for _ in 0..100 {
+            assert!(st.decide(&[FaultClass::Launch, FaultClass::Timeout]).is_some());
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut st = FaultState::new(FaultConfig::uniform(3, 0.0));
+        for _ in 0..1000 {
+            assert_eq!(st.decide(&[FaultClass::Alloc, FaultClass::Ecc]), None);
+        }
+        assert_eq!(st.injected(), 0);
+    }
+
+    #[test]
+    fn scope_reset_replays_the_same_decisions() {
+        let cfg = FaultConfig::uniform(11, 0.3);
+        let take = |st: &mut FaultState| -> Vec<Option<FaultClass>> {
+            (0..50).map(|_| st.decide(&[FaultClass::Launch])).collect()
+        };
+        let mut a = FaultState::new(cfg);
+        a.set_scope(5);
+        let first = take(&mut a);
+        // Different history before re-entering the scope must not matter.
+        let mut b = FaultState::new(cfg);
+        b.set_scope(9);
+        let _ = take(&mut b);
+        b.set_scope(5);
+        let second = take(&mut b);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn scopes_decouple() {
+        let cfg = FaultConfig::uniform(11, 0.5);
+        let mut a = FaultState::new(cfg);
+        a.set_scope(0);
+        let ra: Vec<_> = (0..64).map(|_| a.decide(&[FaultClass::Launch])).collect();
+        let mut b = FaultState::new(cfg);
+        b.set_scope(1);
+        let rb: Vec<_> = (0..64).map(|_| b.decide(&[FaultClass::Launch])).collect();
+        assert_ne!(ra, rb, "distinct scopes should see distinct fault timelines");
+    }
+
+    #[test]
+    fn priority_order_picks_first_firing_class() {
+        // With rate 1.0 everywhere, the first listed class wins.
+        let mut st = FaultState::new(FaultConfig::persistent(0));
+        assert_eq!(
+            st.decide(&[FaultClass::Timeout, FaultClass::Launch]),
+            Some(FaultClass::Timeout)
+        );
+        assert_eq!(
+            st.decide(&[FaultClass::Launch, FaultClass::Timeout]),
+            Some(FaultClass::Launch)
+        );
+    }
+}

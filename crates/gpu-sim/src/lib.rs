@@ -25,6 +25,8 @@ pub mod atomic;
 pub mod buffer;
 pub mod cost;
 pub mod device;
+pub mod error;
+pub mod fault;
 pub mod gmem;
 pub mod launch;
 pub mod metrics;
@@ -34,9 +36,11 @@ pub mod timeline;
 pub mod trace;
 
 pub use atomic::{DevAtomicCplx, DevAtomicF64, DevAtomicU32};
-pub use buffer::DeviceBuffer;
+pub use buffer::{DeviceBuffer, MemPool};
 pub use cost::{kernel_cost, transfer_time, KernelCost};
 pub use device::{GpuDevice, LaunchRecord, DEFAULT_STREAM};
+pub use error::{GpuError, TransferDir};
+pub use fault::{fault_roll, FaultClass, FaultConfig};
 pub use gmem::Gmem;
 pub use launch::{LaunchConfig, ThreadCtx};
 pub use metrics::KernelStats;

@@ -36,6 +36,10 @@ pub enum Engine {
     Device,
     /// Copy engine: host↔device transfers.
     Pcie,
+    /// Host-side waits (retry backoff, watchdog recovery): occupy only
+    /// their own stream — no device share, no kernel-concurrency slot, no
+    /// copy engine. Any number may run concurrently.
+    Host,
 }
 
 /// An operation enqueued on a stream.
@@ -151,6 +155,8 @@ pub fn schedule(ops: &[Op], max_concurrent_kernels: u32) -> Schedule {
                         active.push(i);
                     }
                 }
+                // Host waits contend for nothing.
+                Engine::Host => active.push(i),
             }
         }
         debug_assert!(!active.is_empty(), "deadlock in timeline scheduling");
@@ -172,6 +178,7 @@ pub fn schedule(ops: &[Op], max_concurrent_kernels: u32) -> Schedule {
             let share = match ops[i].engine {
                 Engine::Device => device_share,
                 Engine::Pcie => pcie_share,
+                Engine::Host => 1.0,
             };
             let finish_in = remaining[i] * share;
             if finish_in < dt {
@@ -183,6 +190,7 @@ pub fn schedule(ops: &[Op], max_concurrent_kernels: u32) -> Schedule {
             let share = match ops[i].engine {
                 Engine::Device => device_share,
                 Engine::Pcie => pcie_share,
+                Engine::Host => 1.0,
             };
             remaining[i] -= dt / share;
             if remaining[i] <= 1e-18 {
@@ -298,6 +306,7 @@ pub fn concurrency_profile(ops: &[Op], sched: &Schedule) -> ConcurrencyProfile {
                     busy: 0.0,
                     utilisation: 0.0,
                 });
+                // Invariant: the push above guarantees a last element.
                 per_stream.last_mut().unwrap()
             }
         };
@@ -342,6 +351,7 @@ pub fn concurrency_profile(ops: &[Op], sched: &Schedule) -> ConcurrencyProfile {
                 Some((_, d)) => d,
                 None => {
                     depth.push((stream, 0));
+                    // Invariant: the push above guarantees a last element.
                     &mut depth.last_mut().unwrap().1
                 }
             };
@@ -488,6 +498,29 @@ mod tests {
             "pipelining should beat serial: {}",
             s.makespan
         );
+    }
+
+    #[test]
+    fn host_ops_contend_for_nothing() {
+        // A host backoff wait overlaps a capped kernel queue freely and
+        // takes no kernel slot: with cap 1, two kernels serialise (2 s)
+        // while the 2 s host wait runs alongside.
+        let ops = vec![
+            op(0, 0, Engine::Device, 1.0),
+            op(1, 1, Engine::Device, 1.0),
+            op(2, 2, Engine::Host, 2.0),
+        ];
+        let s = schedule(&ops, 1);
+        assert!((s.makespan - 2.0).abs() < 1e-12);
+        assert!((s.ops[2].start).abs() < 1e-12, "host op starts immediately");
+        // And host ops do not dilute the device share: one kernel plus one
+        // host wait → kernel runs at full rate.
+        let ops = vec![
+            op(0, 0, Engine::Device, 1.0),
+            op(1, 1, Engine::Host, 0.5),
+        ];
+        let s = schedule(&ops, 32);
+        assert!((s.ops[0].end - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! cargo run --release --example serving
 //! ```
 
-use cusfft::{ServeConfig, ServeEngine, ServeRequest, Variant};
-use gpu_sim::DeviceSpec;
+use cusfft::{ServeConfig, ServeEngine, ServePath, ServeRequest, Variant};
+use gpu_sim::{DeviceSpec, FaultConfig};
 use signal::{MagnitudeModel, SparseSignal};
 
 fn main() {
@@ -38,6 +38,7 @@ fn main() {
         ServeConfig {
             workers: 3,
             cache_capacity: 8,
+            ..ServeConfig::default()
         },
     );
 
@@ -53,6 +54,45 @@ fn main() {
 
     assert!(report2.cache.hits > report.cache.hits);
     assert!(report.concurrency.max_concurrent_streams >= 2);
+
+    // Same batch on a flaky device: a deterministic fault plan injects
+    // OOM/transfer/launch failures; the engine evicts failing requests
+    // from their batch groups, retries them with backoff, and degrades
+    // stragglers to the CPU reference path — every request completes.
+    let flaky = ServeEngine::new(
+        DeviceSpec::tesla_k20x(),
+        ServeConfig {
+            workers: 3,
+            cache_capacity: 8,
+            faults: Some(FaultConfig::uniform(42, 0.002)),
+            ..ServeConfig::default()
+        },
+    );
+    let report3 = flaky.serve_batch(&requests);
+    println!("\nsame batch, 0.2% fault rate on every device op:");
+    print_report(&report3);
+    let t = report3.faults;
+    println!(
+        "  faults: {} injected, {} evictions, {} retries, {} cpu fallbacks, {} failed",
+        t.injected, t.evictions, t.retries, t.cpu_fallbacks, t.failed
+    );
+    let count = |p: ServePath| {
+        report3
+            .responses()
+            .filter(|r| r.path == p)
+            .count()
+    };
+    println!(
+        "  paths: {} gpu, {} gpu-after-retry, {} cpu",
+        count(ServePath::Gpu),
+        count(ServePath::GpuRetry),
+        count(ServePath::Cpu)
+    );
+    assert_eq!(
+        report3.outcomes.len(),
+        requests.len(),
+        "every request resolves even on a flaky device"
+    );
 }
 
 fn print_report(report: &cusfft::ServeReport) {

@@ -152,6 +152,7 @@ fn serve_engine_identical_across_pool_sizes() {
             ServeConfig {
                 workers: 3,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         )
         .serve_batch(&reqs)
@@ -159,7 +160,7 @@ fn serve_engine_identical_across_pool_sizes() {
     let reference = with_pool(1, serve);
     for threads in POOL_SIZES[1..].iter().copied() {
         let report = with_pool(threads, serve);
-        for (i, (a, b)) in reference.responses.iter().zip(&report.responses).enumerate() {
+        for (i, (a, b)) in reference.responses().zip(report.responses()).enumerate() {
             assert_eq!(
                 a.recovered, b.recovered,
                 "request {i} spectrum changed under {threads} pool threads"

@@ -55,13 +55,15 @@ fn serve_is_bit_identical_to_direct_execute() {
                 ServeConfig {
                     workers,
                     cache_capacity: 8,
+                    ..ServeConfig::default()
                 },
             );
             let reqs = mixed_batch(batch_len);
             let report = engine.serve_batch(&reqs);
-            assert_eq!(report.responses.len(), batch_len);
-            for (i, (req, resp)) in reqs.iter().zip(&report.responses).enumerate() {
+            assert_eq!(report.outcomes.len(), batch_len);
+            for (i, (req, outcome)) in reqs.iter().zip(&report.outcomes).enumerate() {
                 let (want, want_hits) = direct(req);
+                let resp = outcome.response().expect("fault-free serving completes");
                 assert_eq!(
                     resp.recovered, want,
                     "batch {batch_len}, workers {workers}, request {i}: \
@@ -82,6 +84,7 @@ fn worker_count_never_changes_results() {
             ServeConfig {
                 workers,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         )
         .serve_batch(&reqs)
@@ -89,10 +92,11 @@ fn worker_count_never_changes_results() {
     let base = serve(1);
     for workers in 2..=4 {
         let report = serve(workers);
-        for (a, b) in base.responses.iter().zip(&report.responses) {
+        for (a, b) in base.responses().zip(report.responses()) {
             assert_eq!(a.recovered, b.recovered, "workers={workers}");
             assert_eq!(a.num_hits, b.num_hits);
         }
+        assert_eq!(base.outcomes.len(), report.outcomes.len());
     }
 }
 
@@ -109,15 +113,17 @@ fn repeated_runs_reproduce_spectra_and_timeline() {
             ServeConfig {
                 workers: 3,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         )
         .serve_batch(&reqs)
     };
     let a = run();
     let b = run();
-    for (ra, rb) in a.responses.iter().zip(&b.responses) {
+    for (ra, rb) in a.responses().zip(b.responses()) {
         assert_eq!(ra.recovered, rb.recovered);
         assert_eq!(ra.num_hits, rb.num_hits);
+        assert_eq!(ra.path, rb.path);
     }
     assert_eq!(
         a.makespan.to_bits(),
@@ -139,6 +145,7 @@ fn cache_counters_accumulate_across_batches() {
         ServeConfig {
             workers: 2,
             cache_capacity: 8,
+            ..ServeConfig::default()
         },
     );
     let reqs = mixed_batch(8); // 4 distinct geometries, each twice
@@ -158,6 +165,7 @@ fn multi_group_batches_occupy_concurrent_streams() {
         ServeConfig {
             workers: 2,
             cache_capacity: 8,
+            ..ServeConfig::default()
         },
     );
     let report = engine.serve_batch(&mixed_batch(8));

@@ -57,7 +57,7 @@ fn parse_args() -> Opts {
             }
             "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
             "--help" | "-h" => {
-                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve hostperf all");
+                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve hostperf overload all");
                 println!("flags:   --full (paper-scale sweep)  --smoke (tiny CI sizes)  --k K  --out DIR");
                 std::process::exit(0);
             }
@@ -152,6 +152,93 @@ fn main() {
     // explicitly (use --smoke for the small CI profile).
     if opts.target == "hostperf" {
         hostperf(&opts, seed);
+    }
+    // overload replays paced traces at several offered loads, so it too
+    // runs only when asked for explicitly (--smoke for the CI profile).
+    if opts.target == "overload" {
+        overload(&opts, seed);
+    }
+}
+
+/// Extension: overload robustness of the serving layer — shed/deadline
+/// rates, brownout, hedging and breaker outcomes across offered loads,
+/// plus the breaker-vs-retry throughput comparison on a persistently
+/// faulting device. Emits `BENCH_serve_overload.json`.
+fn overload(opts: &Opts, seed: u64) {
+    let (log2_n, k, batch): (u32, usize, usize) = if opts.smoke {
+        (12, 8, 12)
+    } else {
+        (14, 16, 32)
+    };
+    let loads: &[f64] = if opts.smoke {
+        &[0.5, 2.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0, 4.0]
+    };
+    eprintln!("[overload] n = 2^{log2_n}, k = {k}, batch = {batch}, loads = {loads:?}");
+
+    let rows = bench::overload_sweep(log2_n, k, batch, loads, seed);
+    let mut t = Table::new(
+        &format!("Overload: {batch} paced requests, n≈2^{log2_n}, k={k} (simulated)"),
+        &["load", "shed", "miss", "degr", "hedges", "wins", "trips", "p50 lat", "p99 lat", "req/s"],
+    );
+    for p in &rows {
+        t.row(vec![
+            format!("{:.2}x", p.offered_load),
+            format!("{:.0}%", p.shed_rate * 100.0),
+            format!("{:.0}%", p.deadline_miss_rate * 100.0),
+            p.degraded.to_string(),
+            p.hedges.to_string(),
+            p.hedge_wins.to_string(),
+            p.breaker_trips.to_string(),
+            fmt_secs(p.latency_p50),
+            fmt_secs(p.latency_p99),
+            format!("{:.0}", p.throughput),
+        ]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "overload");
+
+    let (breaker_tp, retry_tp) = bench::breaker_vs_retry(log2_n, k, batch.min(8), seed);
+    println!(
+        "breaker vs retry-every-request on a persistently faulting device: \
+         {breaker_tp:.0} vs {retry_tp:.0} req/s ({})",
+        fmt_ratio(breaker_tp / retry_tp)
+    );
+
+    // Hand-rolled JSON (no serde_json in the vendored set).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!(
+        "  \"breaker_vs_retry\": {{\"breaker_throughput\": {breaker_tp:.3}, \"retry_throughput\": {retry_tp:.3}, \"speedup\": {:.3}}},\n",
+        breaker_tp / retry_tp
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"offered_load\": {:.2}, \"requests\": {}, \"shed_rate\": {:.4}, \"deadline_miss_rate\": {:.4}, \"degraded\": {}, \"hedges\": {}, \"hedge_wins\": {}, \"breaker_trips\": {}, \"breaker_short_circuits\": {}, \"sdc_detected\": {}, \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}, \"throughput\": {:.3}}}{}\n",
+            p.offered_load,
+            p.requests,
+            p.shed_rate,
+            p.deadline_miss_rate,
+            p.degraded,
+            p.hedges,
+            p.hedge_wins,
+            p.breaker_trips,
+            p.breaker_short_circuits,
+            p.sdc_detected,
+            p.latency_p50 * 1e3,
+            p.latency_p99 * 1e3,
+            p.throughput,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let _ = std::fs::create_dir_all(&opts.out);
+    let path = opts.out.join("BENCH_serve_overload.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }
 

@@ -602,9 +602,221 @@ pub fn serve_sweep(
         .collect()
 }
 
+/// One row of the overload experiment: a paced trace at `offered_load`×
+/// nominal capacity pushed through [`cusfft::ServeEngine::serve_overload`]
+/// under a deterministic fault plan.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadPoint {
+    /// Offered load as a multiple of nominal capacity (1.0 = arrivals
+    /// paced at exactly one nominal service time apart).
+    pub offered_load: f64,
+    pub requests: usize,
+    pub admitted: u64,
+    pub shed: u64,
+    pub deadline_exceeded: u64,
+    /// Requests re-planned onto the degraded-accuracy tier at admission.
+    pub degraded: u64,
+    pub hedges: u64,
+    pub hedge_wins: u64,
+    pub breaker_trips: u64,
+    pub breaker_short_circuits: u64,
+    /// Detected silent corruptions (SDC residual-check hits).
+    pub sdc_detected: u64,
+    /// Fraction of arrivals shed at admission.
+    pub shed_rate: f64,
+    /// Fraction of arrivals rejected for unmeetable deadlines.
+    pub deadline_miss_rate: f64,
+    /// p50 simulated latency over completed requests (seconds).
+    pub latency_p50: f64,
+    /// p99 simulated latency over completed requests (seconds).
+    pub latency_p99: f64,
+    pub makespan: f64,
+    /// Completed requests per simulated second.
+    pub throughput: f64,
+}
+
+/// Builds a timed trace from the standard serving batch: arrivals are
+/// paced `nominal / offered_load` apart (so load 2.0 means requests
+/// arrive twice as fast as the engine's nominal single-request service
+/// time), and every fourth request carries a deadline of four nominal
+/// service times — tight enough that a deep queue makes it unmeetable.
+pub fn overload_trace(
+    log2_n: u32,
+    k: usize,
+    batch: usize,
+    seed: u64,
+    offered_load: f64,
+) -> Vec<cusfft::TimedRequest> {
+    assert!(offered_load > 0.0, "offered load must be positive");
+    let requests = serve_requests(log2_n, k, batch, seed);
+    // Pacing unit: the admission controller's own service estimate for
+    // the largest geometry in the batch. Using the same model the
+    // virtual queue prices with makes "load 2.0" mean arrivals twice as
+    // fast as the admission model believes the server drains.
+    let spec = DeviceSpec::tesla_k20x();
+    let nominal = cusfft::nominal_service(&spec, 1 << log2_n, k);
+    let gap = nominal / offered_load;
+    requests
+        .into_iter()
+        .enumerate()
+        .map(|(i, req)| {
+            let t = cusfft::TimedRequest::at(req, i as f64 * gap);
+            if i % 4 == 3 {
+                t.with_deadline(4.0 * nominal)
+            } else {
+                t
+            }
+        })
+        .collect()
+}
+
+/// The overload policy the sweep and the CI smoke run share: a bounded
+/// queue sized to half the batch, brownout at a quarter, default breaker
+/// thresholds, and hedging pegged to 1.25× the *median* group duration —
+/// the sweep only has a handful of geometry groups, so a p90 anchor
+/// would degenerate to the max and never fire.
+pub fn overload_policy(batch: usize) -> cusfft::OverloadConfig {
+    cusfft::OverloadConfig {
+        queue_capacity: (batch / 2).max(2),
+        brownout_depth: (batch / 4).max(1),
+        hedge_percentile: 0.5,
+        hedge_factor: 1.25,
+        ..cusfft::OverloadConfig::default()
+    }
+}
+
+/// Serves a paced trace at each offered load with a fresh engine under a
+/// low-rate uniform fault plan (with SDC enabled) and reports the
+/// admission, hedging, breaker and latency outcomes.
+pub fn overload_sweep(
+    log2_n: u32,
+    k: usize,
+    batch: usize,
+    loads: &[f64],
+    seed: u64,
+) -> Vec<OverloadPoint> {
+    let policy = overload_policy(batch);
+    loads
+        .iter()
+        .map(|&load| {
+            let trace = overload_trace(log2_n, k, batch, seed, load);
+            let engine = cusfft::ServeEngine::new(
+                DeviceSpec::tesla_k20x(),
+                cusfft::ServeConfig {
+                    workers: 4,
+                    cache_capacity: 8,
+                    faults: Some(gpu_sim::FaultConfig::uniform(seed, 0.002).with_sdc(0.01)),
+                    ..cusfft::ServeConfig::default()
+                },
+            );
+            let report = engine.serve_overload(&trace, &policy);
+            let ov = report.overload;
+            let n = trace.len() as f64;
+            OverloadPoint {
+                offered_load: load,
+                requests: trace.len(),
+                admitted: ov.admitted,
+                shed: ov.shed,
+                deadline_exceeded: ov.deadline_exceeded,
+                degraded: ov.degraded,
+                hedges: ov.hedges,
+                hedge_wins: ov.hedge_wins,
+                breaker_trips: ov.breaker_trips,
+                breaker_short_circuits: ov.breaker_short_circuits,
+                sdc_detected: report.faults.sdc_detected,
+                shed_rate: ov.shed as f64 / n,
+                deadline_miss_rate: ov.deadline_exceeded as f64 / n,
+                latency_p50: report.latency.p50,
+                latency_p99: report.latency.p99,
+                makespan: report.makespan,
+                throughput: report.throughput,
+            }
+        })
+        .collect()
+}
+
+/// Breaker-vs-retry comparison on a persistently faulting device: the
+/// same batch served by `serve_overload` (circuit breaker short-circuits
+/// doomed groups straight to the CPU path) and by the PR-3
+/// `serve_batch` (which retries every request through the full backoff
+/// ladder first). Returns `(breaker_throughput, retry_throughput)` in
+/// completed requests per simulated second — the breaker must win.
+pub fn breaker_vs_retry(log2_n: u32, k: usize, batch: usize, seed: u64) -> (f64, f64) {
+    // Distinct sparsities give every request its own plan key, hence its
+    // own batch group — enough independent groups for the breaker's
+    // sliding window to fill and trip.
+    let n = 1usize << log2_n;
+    let requests: Vec<cusfft::ServeRequest> = (0..batch)
+        .map(|i| {
+            let ki = (k / 2).max(2) + i;
+            let s = SparseSignal::generate(n, ki, MagnitudeModel::Unit, seed ^ ((i as u64) << 8));
+            cusfft::ServeRequest {
+                time: s.time,
+                k: ki,
+                variant: Variant::Optimized,
+                seed: seed.wrapping_mul(31).wrapping_add(i as u64),
+            }
+        })
+        .collect();
+    let trace: Vec<cusfft::TimedRequest> = requests
+        .iter()
+        .cloned()
+        .map(|r| cusfft::TimedRequest::at(r, 0.0))
+        .collect();
+    let cfg = cusfft::ServeConfig {
+        workers: 4,
+        cache_capacity: batch.max(8),
+        faults: Some(gpu_sim::FaultConfig::persistent(seed)),
+        ..cusfft::ServeConfig::default()
+    };
+    let breaker = cusfft::ServeEngine::new(DeviceSpec::tesla_k20x(), cfg);
+    let policy = cusfft::OverloadConfig {
+        queue_capacity: batch.max(1),
+        brownout_depth: batch.max(1),
+        // Trip after two consecutive faulted groups and stay open for
+        // the rest of the run — the point is to stop paying the doomed
+        // retry ladder on every remaining group.
+        breaker: gpu_sim::BreakerConfig {
+            window: 2,
+            trip_faults: 2,
+            cooldown: 10 * batch,
+        },
+        epoch_groups: 2,
+        ..cusfft::OverloadConfig::default()
+    };
+    let over = breaker.serve_overload(&trace, &policy);
+    let retry = cusfft::ServeEngine::new(DeviceSpec::tesla_k20x(), cfg);
+    let legacy = retry.serve_batch(&requests);
+    (over.throughput, legacy.throughput)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn overload_trace_paces_arrivals_and_deadlines() {
+        let trace = overload_trace(10, 4, 8, 3, 2.0);
+        assert_eq!(trace.len(), 8);
+        assert!(trace.windows(2).all(|w| w[0].arrival < w[1].arrival));
+        // Doubling the load halves the inter-arrival gap.
+        let slow = overload_trace(10, 4, 8, 3, 1.0);
+        let gap = |t: &[cusfft::TimedRequest]| t[1].arrival - t[0].arrival;
+        assert!((gap(&slow) - 2.0 * gap(&trace)).abs() < 1e-12);
+        // Every fourth request carries the deadline, nobody else does.
+        for (i, t) in trace.iter().enumerate() {
+            assert_eq!(t.deadline.is_some(), i % 4 == 3, "request {i}");
+        }
+    }
+
+    #[test]
+    fn breaker_vs_retry_breaker_wins() {
+        let (breaker, retry) = breaker_vs_retry(10, 4, 6, 5);
+        assert!(
+            breaker > retry,
+            "breaker {breaker} must beat retry-every-request {retry}"
+        );
+    }
 
     #[test]
     fn runtime_point_is_consistent() {

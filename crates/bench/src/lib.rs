@@ -18,10 +18,11 @@ pub mod table;
 pub mod viz;
 
 pub use experiments::{
-    batched_fft_ablation, comb_ablation, device_sweep, fig2a, fig2b, fig5a, fig5b, fig5f,
-    fig2_gpu, filter_ablation, host_parallel_bench, host_parallel_point, noise_sweep,
-    runtime_point, selection_ablation, serve_requests, serve_sweep, CombAblation, FilterAblation,
-    GpuProfileRow, HostParallelPoint, NoisePoint, ProfileRow, RuntimePoint, SelectionAblation,
+    batched_fft_ablation, breaker_vs_retry, comb_ablation, device_sweep, fig2a, fig2b, fig5a,
+    fig5b, fig5f, fig2_gpu, filter_ablation, host_parallel_bench, host_parallel_point,
+    noise_sweep, overload_policy, overload_sweep, overload_trace, runtime_point,
+    selection_ablation, serve_requests, serve_sweep, CombAblation, FilterAblation, GpuProfileRow,
+    HostParallelPoint, NoisePoint, OverloadPoint, ProfileRow, RuntimePoint, SelectionAblation,
     ServePoint,
 };
 pub use table::{fmt_ratio, fmt_secs, Table};

@@ -26,6 +26,21 @@ pub enum CusFftError {
         /// string.
         context: String,
     },
+    /// The sampled residual check rejected a returned spectrum: a
+    /// device→host payload was silently corrupted (SDC) — or, much more
+    /// rarely, the recovery genuinely missed by more than the check's
+    /// tolerance. Either way the result must not be served; the serving
+    /// layer routes it into retry/CPU fallback like a device fault.
+    SilentCorruption {
+        /// Worst sampled time-domain deviation `max_j |x(t_j) − ŷ(t_j)|`.
+        residual: f64,
+        /// Detection threshold the residual exceeded.
+        tolerance: f64,
+    },
+    /// The device's circuit breaker is open and CPU fallback is
+    /// disabled: the request was short-circuited without touching the
+    /// device.
+    CircuitOpen,
 }
 
 impl std::fmt::Display for CusFftError {
@@ -34,6 +49,16 @@ impl std::fmt::Display for CusFftError {
             CusFftError::Gpu(e) => write!(f, "device error: {e}"),
             CusFftError::BadRequest { reason } => write!(f, "bad request: {reason}"),
             CusFftError::Panic { context } => write!(f, "panic contained: {context}"),
+            CusFftError::SilentCorruption {
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "result-integrity check failed: sampled residual {residual:.3e} exceeds {tolerance:.3e}"
+            ),
+            CusFftError::CircuitOpen => {
+                write!(f, "circuit breaker open: device path short-circuited")
+            }
         }
     }
 }

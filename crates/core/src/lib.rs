@@ -17,7 +17,11 @@
 //! * [`report`] — step-level timing breakdowns;
 //! * [`plan_cache`] / [`serve`] — the concurrent serving layer: a keyed
 //!   LRU plan cache and sharded multi-stream batch dispatch
-//!   ([`ServeEngine`]), with cross-request cuFFT batching.
+//!   ([`ServeEngine`]), with cross-request cuFFT batching;
+//! * [`overload`] — overload robustness for the serving layer:
+//!   admission control with deadlines, brownout QoS, a per-device
+//!   circuit breaker, straggler hedging and result-integrity
+//!   verification ([`ServeEngine::serve_overload`]).
 //!
 //! ## Quick start
 //!
@@ -47,6 +51,7 @@ pub mod cufft;
 pub mod cutoff;
 pub mod error;
 pub mod locate;
+pub mod overload;
 pub mod perm_filter;
 pub mod pipeline;
 pub mod plan_cache;
@@ -56,8 +61,11 @@ pub mod serve;
 
 pub use cufft::{batched_fft_device, batched_fft_rows, cufft_dense_baseline, cufft_model_time};
 pub use error::CusFftError;
-pub use pipeline::{CusFft, CusFftOutput, ExecStreams, HostPhaseWalls, Variant};
-pub use plan_cache::{CacheStats, PlanCache, PlanKey};
+pub use overload::{nominal_service, LatencyStats, OverloadConfig, OverloadTally, TimedRequest};
+pub use pipeline::{
+    residual_tolerance, CusFft, CusFftOutput, ExecStreams, HostPhaseWalls, Variant,
+};
+pub use plan_cache::{CacheStats, PlanCache, PlanKey, ServeQos};
 pub use report::StepBreakdown;
 pub use serve::{
     FaultTally, RequestOutcome, ServeConfig, ServeEngine, ServePath, ServeReport, ServeRequest,

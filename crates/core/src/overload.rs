@@ -1,0 +1,716 @@
+//! `cusfft::overload` — overload robustness for the serving layer.
+//!
+//! [`ServeEngine::serve_overload`] serves an *open-loop arrival trace*
+//! (requests stamped with arrival times and optional deadlines) instead
+//! of a closed batch, adding five mechanisms on top of the fault
+//! recovery in [`crate::serve`]:
+//!
+//! 1. **Admission control** — a bounded virtual queue. A request whose
+//!    predicted queue depth at arrival reaches
+//!    [`OverloadConfig::queue_capacity`] is shed (newest-rejected,
+//!    [`RequestOutcome::Shed`]) before it costs any device time.
+//! 2. **Deadlines** — each admitted request's completion is predicted
+//!    against a deterministic service-time model
+//!    ([`cufft_model_time`]-based); a request that cannot meet its
+//!    deadline even now is rejected as
+//!    [`RequestOutcome::DeadlineExceeded`] rather than served late.
+//! 3. **Graceful brownout** — under queue pressure
+//!    ([`OverloadConfig::brownout_depth`]) requests are re-planned onto
+//!    [`ServeQos::Degraded`] — a reduced-loop sFFT plan that trades
+//!    recovery margin for latency — and report the tier they were
+//!    served at ([`ServeResponse::qos`]).
+//! 4. **Circuit breaking** — a per-device
+//!    [`gpu_sim::CircuitBreaker`] watches fault tallies over a sliding
+//!    window of group indices; once tripped, groups are short-circuited
+//!    straight to the CPU path instead of burning device time on
+//!    retries that will only degrade anyway, with HalfOpen probes
+//!    testing recovery.
+//! 5. **Straggler hedging** — a group whose simulated duration exceeds
+//!    a percentile-based budget is re-executed as a hedged duplicate
+//!    under independent fault scopes; the first finisher (by simulated
+//!    time, ties to the primary) wins, and both runs stay on the merged
+//!    timeline — hedges cost device time and the accounting shows it.
+//!
+//! ## Determinism
+//!
+//! Everything above is a pure function of `(trace, config, policy)`:
+//!
+//! * Admission decisions replay a *virtual* single-server queue fed by
+//!   arrival order and the analytic service model — no wall clocks.
+//! * Each group executes on a **fresh private device**, so its op
+//!   recording, fault decisions (scoped by global group index — see
+//!   [`crate::serve::scope_group`]) and simulated duration depend only
+//!   on the group itself, never on which worker ran it or what ran
+//!   before it on the same device.
+//! * The breaker is driven on the coordinator thread in global group
+//!   order (admit all, execute the epoch in parallel, observe all), so
+//!   its transition log is invariant under the worker count.
+//! * The hedging budget is a percentile of the deterministic per-group
+//!   durations; the "first finisher" race is decided by comparing those
+//!   durations, not by thread timing.
+//! * The merged timeline interleaves recordings in a fixed order
+//!   (control ops, groups by gid, hedge losers by gid) via
+//!   [`gpu_sim::merge_op_groups`].
+
+use std::collections::HashMap;
+
+use gpu_sim::{
+    concurrency_profile, merge_op_groups, schedule, transfer_time, BreakerConfig, BreakerDecision,
+    CircuitBreaker, DeviceSpec, GpuDevice, Op, DEFAULT_STREAM,
+};
+use sfft_cpu::SfftParams;
+
+use crate::cufft::cufft_model_time;
+use crate::error::CusFftError;
+use crate::pipeline::ExecStreams;
+use crate::plan_cache::{PlanKey, ServeQos};
+use crate::serve::{
+    run_group, validate_request, FaultTally, Group, RequestOutcome, ServeConfig, ServeEngine,
+    ServePath, ServeReport, ServeRequest, ServeResponse,
+};
+
+/// One request in an open-loop arrival trace.
+#[derive(Debug, Clone)]
+pub struct TimedRequest {
+    /// The request itself.
+    pub request: ServeRequest,
+    /// Simulated arrival time (seconds). Traces must be sorted by
+    /// arrival — admission replays them in order.
+    pub arrival: f64,
+    /// Optional completion deadline, in seconds *after arrival*.
+    pub deadline: Option<f64>,
+}
+
+impl TimedRequest {
+    /// A request arriving at `arrival` with no deadline.
+    pub fn at(request: ServeRequest, arrival: f64) -> Self {
+        TimedRequest {
+            request,
+            arrival,
+            deadline: None,
+        }
+    }
+
+    /// Sets the deadline (seconds after arrival).
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Overload-control policy for [`ServeEngine::serve_overload`].
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Maximum predicted queue depth before new arrivals are shed.
+    pub queue_capacity: usize,
+    /// Predicted queue depth at which admitted requests are re-planned
+    /// onto [`ServeQos::Degraded`]. Set ≥ `queue_capacity` to disable
+    /// brownout.
+    pub brownout_depth: usize,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Groups per breaker epoch: the breaker decides an epoch's
+    /// admissions up front, the epoch executes in parallel, then the
+    /// observations feed back. Smaller epochs react faster; 1 is fully
+    /// sequential.
+    pub epoch_groups: usize,
+    /// Percentile of per-group simulated durations that anchors the
+    /// hedging budget (e.g. 0.9 = p90).
+    pub hedge_percentile: f64,
+    /// Budget multiplier: a group is hedged when its duration strictly
+    /// exceeds `percentile × hedge_factor`. Set very large to disable
+    /// hedging.
+    pub hedge_factor: f64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            queue_capacity: 64,
+            brownout_depth: 16,
+            breaker: BreakerConfig::default(),
+            epoch_groups: 4,
+            hedge_percentile: 0.9,
+            hedge_factor: 1.5,
+        }
+    }
+}
+
+/// Overload-control counters for one [`ServeEngine::serve_overload`]
+/// call. Deterministic: a function of `(trace, config, policy)` alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadTally {
+    /// Requests admitted past the queue and deadline checks.
+    pub admitted: u64,
+    /// Requests shed by the queue bound.
+    pub shed: u64,
+    /// Requests rejected because they could not meet their deadline.
+    pub deadline_exceeded: u64,
+    /// Admitted requests served at [`ServeQos::Degraded`].
+    pub degraded: u64,
+    /// Requests short-circuited past the device by an open breaker.
+    pub breaker_short_circuits: u64,
+    /// HalfOpen probe groups the breaker let through.
+    pub breaker_probes: u64,
+    /// Times the breaker tripped open (including failed probes).
+    pub breaker_trips: u64,
+    /// Straggler groups that got a hedged duplicate.
+    pub hedges: u64,
+    /// Hedged duplicates that beat their primary.
+    pub hedge_wins: u64,
+}
+
+/// Simulated request-latency distribution over completed requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Completed requests the stats cover.
+    pub count: usize,
+    /// Median latency (seconds).
+    pub p50: f64,
+    /// 99th-percentile latency (seconds).
+    pub p99: f64,
+    /// Worst latency (seconds).
+    pub max: f64,
+    /// Mean latency (seconds).
+    pub mean: f64,
+}
+
+impl LatencyStats {
+    /// Builds the distribution from raw latencies (empty → all zeros).
+    pub fn from_latencies(mut lat: Vec<f64>) -> Self {
+        if lat.is_empty() {
+            return LatencyStats::default();
+        }
+        lat.sort_by(f64::total_cmp);
+        let count = lat.len();
+        let sum: f64 = lat.iter().sum();
+        LatencyStats {
+            count,
+            p50: percentile(&lat, 0.5),
+            p99: percentile(&lat, 0.99),
+            max: lat[count - 1],
+            mean: sum / count as f64,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let len = sorted.len();
+    let idx = ((len as f64) * q).ceil() as usize;
+    sorted[idx.clamp(1, len) - 1]
+}
+
+/// One group's execution on its private device.
+struct GroupRun {
+    gid: usize,
+    /// `(request index, outcome)` for every member.
+    results: Vec<(usize, RequestOutcome)>,
+    /// The private device's op recording (empty when short-circuited).
+    ops: Vec<Op>,
+    tally: FaultTally,
+    /// Whether the device injected any fault — the breaker's signal.
+    faulted: bool,
+    /// Simulated makespan of this group's ops alone; the hedging race
+    /// and the latency model are decided on it.
+    duration: f64,
+    /// True when the breaker kept this group off the device.
+    short_circuit: bool,
+}
+
+/// Executes one group on a fresh private device. Freshness is what
+/// makes each group's recording, tally and duration a function of the
+/// group alone (see the module docs).
+fn run_group_on_fresh_device(
+    spec: &DeviceSpec,
+    cfg: &ServeConfig,
+    group: &Group,
+    requests: &[ServeRequest],
+    hedged: bool,
+) -> GroupRun {
+    let device = GpuDevice::new(spec.clone());
+    if let Some(fc) = cfg.faults {
+        device.install_fault_plan(fc);
+    }
+    let streams = ExecStreams::on_device_private(&device, group.plan.num_streams());
+    let mut tally = FaultTally::default();
+    let results = run_group(&device, group, requests, &streams, cfg, &mut tally, hedged);
+    tally.injected = device.faults_injected();
+    let ops = device.ops();
+    let duration = schedule(&ops, spec.max_concurrent_kernels).makespan;
+    GroupRun {
+        gid: group.gid,
+        results,
+        ops,
+        faulted: tally.injected > 0,
+        tally,
+        duration,
+        short_circuit: false,
+    }
+}
+
+/// Runs `groups` across up to `workers` threads (round-robin shards)
+/// and returns their runs sorted by gid. A worker lost to a panic
+/// outside every per-request boundary fails over to per-group CPU
+/// recovery, like [`crate::serve`]'s batch path.
+fn execute_wave<'g>(
+    spec: &DeviceSpec,
+    cfg: &ServeConfig,
+    groups: &[&'g Group],
+    requests: &[ServeRequest],
+    workers: usize,
+    hedged: bool,
+) -> Vec<GroupRun> {
+    let workers = workers.max(1).min(groups.len().max(1));
+    let mut shards: Vec<Vec<&'g Group>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, g) in groups.iter().enumerate() {
+        shards[i % workers].push(g);
+    }
+    let mut runs: Vec<GroupRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                scope.spawn(move || {
+                    shard
+                        .iter()
+                        .map(|g| run_group_on_fresh_device(spec, cfg, g, requests, hedged))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .zip(&shards)
+            .flat_map(|(h, shard)| match h.join() {
+                Ok(rs) => rs,
+                Err(payload) => shard
+                    .iter()
+                    .map(|g| recover_group_loss(g, requests, cfg, &*payload))
+                    .collect(),
+            })
+            .collect()
+    });
+    runs.sort_by_key(|r| r.gid);
+    runs
+}
+
+/// CPU failover for a group whose worker thread died: serve every
+/// member on the CPU path (or fail them typed). The recording is lost
+/// with the worker.
+fn recover_group_loss(
+    group: &Group,
+    requests: &[ServeRequest],
+    cfg: &ServeConfig,
+    payload: &(dyn std::any::Any + Send),
+) -> GroupRun {
+    let context = crate::error::panic_context("overload worker", payload);
+    let mut tally = FaultTally {
+        worker_panics: 1,
+        ..FaultTally::default()
+    };
+    let results = group
+        .indices
+        .iter()
+        .map(|&idx| {
+            let req = &requests[idx];
+            let outcome = if cfg.cpu_fallback {
+                tally.cpu_fallbacks += 1;
+                let recovered = sfft_cpu::sfft(group.plan.params(), &req.time, req.seed);
+                RequestOutcome::Done(ServeResponse {
+                    num_hits: recovered.len(),
+                    recovered,
+                    path: ServePath::Cpu,
+                    qos: group.qos,
+                })
+            } else {
+                tally.failed += 1;
+                RequestOutcome::Failed {
+                    error: CusFftError::Panic {
+                        context: context.clone(),
+                    },
+                    after_attempts: 0,
+                }
+            };
+            (idx, outcome)
+        })
+        .collect();
+    GroupRun {
+        gid: group.gid,
+        results,
+        ops: Vec::new(),
+        tally,
+        faulted: false,
+        duration: 0.0,
+        short_circuit: false,
+    }
+}
+
+/// Serves a breaker-short-circuited group on the CPU path without
+/// touching any device (or fails it typed when CPU fallback is off).
+fn short_circuit_group(
+    group: &Group,
+    requests: &[ServeRequest],
+    cfg: &ServeConfig,
+    overload: &mut OverloadTally,
+) -> GroupRun {
+    let mut tally = FaultTally::default();
+    let results = group
+        .indices
+        .iter()
+        .map(|&idx| {
+            let req = &requests[idx];
+            overload.breaker_short_circuits += 1;
+            let outcome = if cfg.cpu_fallback {
+                tally.cpu_fallbacks += 1;
+                let recovered = sfft_cpu::sfft(group.plan.params(), &req.time, req.seed);
+                RequestOutcome::Done(ServeResponse {
+                    num_hits: recovered.len(),
+                    recovered,
+                    path: ServePath::Cpu,
+                    qos: group.qos,
+                })
+            } else {
+                tally.failed += 1;
+                RequestOutcome::Failed {
+                    error: CusFftError::CircuitOpen,
+                    after_attempts: 0,
+                }
+            };
+            (idx, outcome)
+        })
+        .collect();
+    GroupRun {
+        gid: group.gid,
+        results,
+        ops: Vec::new(),
+        tally,
+        faulted: false,
+        duration: 0.0,
+        short_circuit: true,
+    }
+}
+
+/// Crude deterministic service-time estimate for one request under
+/// plan `p`: both cuFFT phases, doubled to stand in for the kernels
+/// around them, plus the signal upload. Only *relative* consistency
+/// matters — the same model prices every request, so queue-depth and
+/// deadline predictions are stable and reproducible. It is intentionally
+/// a constant-factor model, not a replay of the real cost model.
+fn estimate_service(model_dev: &GpuDevice, spec: &DeviceSpec, p: &SfftParams) -> f64 {
+    2.0 * (cufft_model_time(model_dev, p.b_loc, p.loops_loc)
+        + cufft_model_time(model_dev, p.b_est, p.loops_est))
+        + transfer_time(spec, p.n * std::mem::size_of::<fft::cplx::Cplx>())
+}
+
+/// The admission controller's service-time estimate for an `(n, k)`
+/// full-QoS request on `spec`'s model device. Benchmarks use this as
+/// the pacing unit when constructing offered-load traces, so "load
+/// 2.0" means arrivals twice as fast as the admission model believes
+/// the server drains.
+pub fn nominal_service(spec: &DeviceSpec, n: usize, k: usize) -> f64 {
+    let dev = GpuDevice::new(spec.clone());
+    estimate_service(&dev, spec, &SfftParams::tuned(n, k))
+}
+
+/// A request admitted past the queue and deadline checks.
+struct Admitted {
+    idx: usize,
+    key: PlanKey,
+    /// Predicted completion time on the virtual server.
+    finish: f64,
+}
+
+impl ServeEngine {
+    /// Serves an open-loop arrival trace under overload policy: bounded
+    /// admission, deadlines, brownout QoS, a per-device circuit breaker
+    /// and straggler hedging on top of [`ServeEngine::serve_batch`]'s
+    /// fault recovery. `trace` must be sorted by arrival time.
+    ///
+    /// Returns outcomes in trace order; rejected requests come back as
+    /// [`RequestOutcome::Shed`] / [`RequestOutcome::DeadlineExceeded`]
+    /// without ever touching a device. The report is bit-identical for
+    /// a fixed `(trace, config, policy)` regardless of worker count and
+    /// host pool width.
+    pub fn serve_overload(&self, trace: &[TimedRequest], policy: &OverloadConfig) -> ServeReport {
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "overload traces must be sorted by arrival time"
+        );
+        let cfg = self.config;
+        let mut overload = OverloadTally::default();
+        // Control-plane markers (sheds, breaker events) are recorded on
+        // their own device so they merge into the timeline exactly once,
+        // in decision order.
+        let control = GpuDevice::new(self.spec.clone());
+        // The estimator only reads the spec; one device prices all
+        // requests.
+        let model_dev = GpuDevice::new(self.spec.clone());
+        let requests: Vec<ServeRequest> = trace.iter().map(|t| t.request.clone()).collect();
+
+        let mut outcomes: Vec<Option<RequestOutcome>> = (0..trace.len()).map(|_| None).collect();
+
+        // ---- Phase 1: admission, in arrival order. --------------------
+        // A virtual single-server queue: service times come from the
+        // analytic model, so depth and completion predictions are
+        // deterministic and need no execution feedback.
+        let mut admitted: Vec<Admitted> = Vec::new();
+        let mut server_free = 0.0f64;
+        for (idx, t) in trace.iter().enumerate() {
+            let req = &t.request;
+            if let Err(e) = validate_request(req) {
+                outcomes[idx] = Some(RequestOutcome::Failed {
+                    error: e,
+                    after_attempts: 0,
+                });
+                continue;
+            }
+            let depth = admitted.iter().filter(|a| a.finish > t.arrival).count();
+            if depth >= policy.queue_capacity {
+                overload.shed += 1;
+                control.charge_host_op("shed:queue", 0.0, DEFAULT_STREAM);
+                outcomes[idx] = Some(RequestOutcome::Shed { queue_depth: depth });
+                continue;
+            }
+            let qos = if depth >= policy.brownout_depth {
+                ServeQos::Degraded
+            } else {
+                ServeQos::Full
+            };
+            let key = PlanKey {
+                qos,
+                ..req.plan_key()
+            };
+            let plan = self.cache.get_or_build(&self.home, key);
+            let est = estimate_service(&model_dev, &self.spec, plan.params());
+            let finish = server_free.max(t.arrival) + est;
+            if let Some(deadline) = t.deadline {
+                let predicted = finish - t.arrival;
+                if predicted > deadline {
+                    overload.deadline_exceeded += 1;
+                    control.charge_host_op("shed:deadline", 0.0, DEFAULT_STREAM);
+                    outcomes[idx] = Some(RequestOutcome::DeadlineExceeded {
+                        predicted,
+                        deadline,
+                    });
+                    continue;
+                }
+            }
+            overload.admitted += 1;
+            if qos == ServeQos::Degraded {
+                overload.degraded += 1;
+            }
+            server_free = finish;
+            admitted.push(Admitted { idx, key, finish });
+        }
+
+        // ---- Group admitted requests by plan key. ---------------------
+        // First-appearance order, like the batch path; a group's arrival
+        // is its latest member's (it cannot start before all members
+        // exist).
+        let mut groups: Vec<Group> = Vec::new();
+        let mut group_arrival: Vec<f64> = Vec::new();
+        let mut key_to_group: HashMap<PlanKey, usize> = HashMap::new();
+        for a in &admitted {
+            let gid = match key_to_group.get(&a.key) {
+                Some(&g) => g,
+                None => {
+                    let g = groups.len();
+                    key_to_group.insert(a.key, g);
+                    groups.push(Group {
+                        gid: g,
+                        plan: self.cache.get_or_build(&self.home, a.key),
+                        indices: Vec::new(),
+                        qos: a.key.qos,
+                    });
+                    group_arrival.push(0.0);
+                    g
+                }
+            };
+            groups[gid].indices.push(a.idx);
+            group_arrival[gid] = group_arrival[gid].max(trace[a.idx].arrival);
+        }
+
+        // ---- Phase 2: breaker-gated execution in epochs. --------------
+        // Admit the epoch's groups in gid order, execute the admitted
+        // ones in parallel, observe in gid order. The breaker only ever
+        // runs on this thread.
+        let mut breaker = CircuitBreaker::new(policy.breaker);
+        let mut runs: Vec<Option<GroupRun>> = (0..groups.len()).map(|_| None).collect();
+        let gids: Vec<usize> = (0..groups.len()).collect();
+        for epoch in gids.chunks(policy.epoch_groups.max(1)) {
+            let mut live: Vec<&Group> = Vec::new();
+            for &gid in epoch {
+                match breaker.admit(gid) {
+                    BreakerDecision::Admit => live.push(&groups[gid]),
+                    BreakerDecision::Probe => {
+                        overload.breaker_probes += 1;
+                        control.charge_host_op("breaker:probe", 0.0, DEFAULT_STREAM);
+                        live.push(&groups[gid]);
+                    }
+                    BreakerDecision::ShortCircuit => {
+                        control.charge_host_op("breaker:short_circuit", 0.0, DEFAULT_STREAM);
+                        runs[gid] =
+                            Some(short_circuit_group(&groups[gid], &requests, &cfg, &mut overload));
+                    }
+                }
+            }
+            for run in execute_wave(&self.spec, &cfg, &live, &requests, cfg.workers, false) {
+                let gid = run.gid;
+                breaker.observe(gid, run.faulted);
+                runs[gid] = Some(run);
+            }
+        }
+        for tr in breaker.transitions() {
+            control.charge_host_op(&format!("breaker:{}", tr.to.label()), 0.0, DEFAULT_STREAM);
+        }
+        overload.breaker_trips = breaker.trips();
+
+        // ---- Phase 3: straggler hedging. ------------------------------
+        // Budget = percentile of the deterministic per-group durations;
+        // strict stragglers re-run as hedged duplicates under
+        // independent fault scopes. The winner is the smaller duration
+        // (a tie goes to the primary), so the race is itself
+        // deterministic. Both runs stay on the timeline.
+        let mut hedge_losers: Vec<GroupRun> = Vec::new();
+        let mut durations: Vec<f64> = runs
+            .iter()
+            .flatten()
+            .filter(|r| !r.short_circuit)
+            .map(|r| r.duration)
+            .collect();
+        if !durations.is_empty() {
+            durations.sort_by(f64::total_cmp);
+            let budget = percentile(&durations, policy.hedge_percentile) * policy.hedge_factor;
+            let stragglers: Vec<&Group> = runs
+                .iter()
+                .flatten()
+                .filter(|r| !r.short_circuit && r.duration > budget)
+                .map(|r| &groups[r.gid])
+                .collect();
+            for hedge in execute_wave(&self.spec, &cfg, &stragglers, &requests, cfg.workers, true) {
+                overload.hedges += 1;
+                let gid = hedge.gid;
+                let primary = runs[gid].take().expect("straggler has a primary run");
+                let (mut winner, loser) = if hedge.duration < primary.duration {
+                    overload.hedge_wins += 1;
+                    (hedge, primary)
+                } else {
+                    (primary, hedge)
+                };
+                // The loser's results are discarded but its injected
+                // faults happened on the simulated device — keep the
+                // count (and, below, its ops) honest.
+                winner.tally.injected += loser.tally.injected;
+                hedge_losers.push(loser);
+                runs[gid] = Some(winner);
+            }
+        }
+
+        // ---- Phase 4: one merged timeline. ----------------------------
+        let mut op_groups: Vec<Vec<Op>> = Vec::with_capacity(1 + groups.len() + hedge_losers.len());
+        op_groups.push(control.ops());
+        op_groups.extend(runs.iter().flatten().map(|r| r.ops.clone()));
+        op_groups.extend(hedge_losers.iter().map(|l| l.ops.clone()));
+        let merged = merge_op_groups(&op_groups);
+        let sched = schedule(&merged, self.spec.max_concurrent_kernels);
+        let concurrency = concurrency_profile(&merged, &sched);
+        let makespan = concurrency.makespan;
+
+        // ---- Phase 5: latency over a virtual device serving groups in
+        // gid order (short-circuited groups complete instantly).
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut clock = 0.0f64;
+        for gid in 0..groups.len() {
+            let run = runs[gid].as_ref().expect("every group resolves to a run");
+            let completion = clock.max(group_arrival[gid]) + run.duration;
+            clock = completion;
+            for (idx, outcome) in &run.results {
+                if outcome.response().is_some() {
+                    latencies.push(completion - trace[*idx].arrival);
+                }
+            }
+        }
+        let latency = LatencyStats::from_latencies(latencies);
+
+        // ---- Collect. -------------------------------------------------
+        let mut faults = FaultTally::default();
+        for run in runs.iter().flatten() {
+            faults.absorb(&run.tally);
+        }
+        let num_groups = groups.len();
+        for run in runs.into_iter().flatten() {
+            for (idx, outcome) in run.results {
+                outcomes[idx] = Some(outcome);
+            }
+        }
+        let outcomes: Vec<RequestOutcome> = outcomes
+            .into_iter()
+            // Invariant: every trace entry is pre-failed, rejected at
+            // admission, or a member of exactly one group run.
+            .map(|o| o.expect("every request resolves to exactly one outcome"))
+            .collect();
+
+        let completed = outcomes.iter().filter(|o| o.response().is_some()).count();
+        let throughput = if makespan > 0.0 {
+            completed as f64 / makespan
+        } else {
+            0.0
+        };
+
+        ServeReport {
+            outcomes,
+            makespan,
+            throughput,
+            concurrency,
+            cache: self.cache.stats(),
+            groups: num_groups,
+            faults,
+            overload,
+            latency,
+            breaker: breaker.transitions().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 0.75), 3.0);
+        assert_eq!(percentile(&v, 0.99), 4.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn latency_stats_from_latencies() {
+        let s = LatencyStats::from_latencies(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p99, 4.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(LatencyStats::from_latencies(vec![]), LatencyStats::default());
+    }
+
+    #[test]
+    fn service_estimate_scales_with_geometry() {
+        let spec = DeviceSpec::tesla_k20x();
+        let dev = GpuDevice::new(spec.clone());
+        let small = estimate_service(&dev, &spec, &SfftParams::tuned(1 << 10, 4));
+        let large = estimate_service(&dev, &spec, &SfftParams::tuned(1 << 14, 4));
+        assert!(small > 0.0);
+        assert!(large > small, "bigger n must price higher: {large} vs {small}");
+        let full = SfftParams::tuned(1 << 12, 8);
+        let degraded =
+            SfftParams::with_tuning(1 << 12, 8, sfft_cpu::Tuning::default().degraded());
+        assert!(
+            estimate_service(&dev, &spec, &degraded) < estimate_service(&dev, &spec, &full),
+            "degraded plans must price cheaper"
+        );
+    }
+}

@@ -21,12 +21,27 @@ use std::sync::Arc;
 
 use gpu_sim::GpuDevice;
 use parking_lot::Mutex;
-use sfft_cpu::SfftParams;
+use sfft_cpu::{SfftParams, Tuning};
 
 use crate::pipeline::{CusFft, Variant};
 
-/// Identity of a plan: the signal geometry and implementation tier.
-/// Two requests with equal keys are served by the same [`CusFft`].
+/// Quality-of-service tier a request is served at. Under sustained
+/// queue pressure the overload layer re-plans requests onto
+/// [`ServeQos::Degraded`] — a reduced-accuracy sFFT with halved loop
+/// counts ([`Tuning::degraded`]) that trades recovery margin for
+/// latency. Part of [`PlanKey`], so Full and Degraded plans for the
+/// same geometry coexist in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServeQos {
+    /// Default-accuracy plan.
+    #[default]
+    Full,
+    /// Brownout plan: fewer location/estimation loops.
+    Degraded,
+}
+
+/// Identity of a plan: the signal geometry, implementation tier and QoS
+/// tier. Two requests with equal keys are served by the same [`CusFft`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Signal length (power of two).
@@ -35,6 +50,8 @@ pub struct PlanKey {
     pub k: usize,
     /// Implementation tier.
     pub variant: Variant,
+    /// Accuracy tier.
+    pub qos: ServeQos,
 }
 
 /// Snapshot of the cache counters.
@@ -145,13 +162,18 @@ impl PlanCache {
         Some(plan)
     }
 
-    /// Builds the standard plan for `key` on `device`
-    /// (`SfftParams::tuned`) — the serving layer's default `build`.
+    /// Builds the standard plan for `key` on `device` — default tuning
+    /// for [`ServeQos::Full`], [`Tuning::degraded`] for
+    /// [`ServeQos::Degraded`]. The serving layer's default `build`.
     pub fn get_or_build(&self, device: &Arc<GpuDevice>, key: PlanKey) -> Arc<CusFft> {
         self.get_or_insert_with(key, || {
+            let tuning = match key.qos {
+                ServeQos::Full => Tuning::default(),
+                ServeQos::Degraded => Tuning::default().degraded(),
+            };
             Arc::new(CusFft::new(
                 Arc::clone(device),
-                Arc::new(SfftParams::tuned(key.n, key.k)),
+                Arc::new(SfftParams::with_tuning(key.n, key.k, tuning)),
                 key.variant,
             ))
         })
@@ -183,7 +205,12 @@ mod tests {
     use gpu_sim::DeviceSpec;
 
     fn key(n: usize, k: usize, variant: Variant) -> PlanKey {
-        PlanKey { n, k, variant }
+        PlanKey {
+            n,
+            k,
+            variant,
+            qos: ServeQos::Full,
+        }
     }
 
     fn device() -> Arc<GpuDevice> {
@@ -239,6 +266,23 @@ mod tests {
             assert_eq!(plan.params().n, n);
             assert_eq!(plan.params().k, k);
         }
+    }
+
+    #[test]
+    fn qos_tiers_get_distinct_plans() {
+        let cache = PlanCache::new(4);
+        let dev = device();
+        let full = cache.get_or_build(&dev, key(1 << 10, 4, Variant::Optimized));
+        let degraded = cache.get_or_build(
+            &dev,
+            PlanKey {
+                qos: ServeQos::Degraded,
+                ..key(1 << 10, 4, Variant::Optimized)
+            },
+        );
+        assert!(!Arc::ptr_eq(&full, &degraded));
+        assert!(degraded.params().loops_total() < full.params().loops_total());
+        assert_eq!(cache.stats().len, 2);
     }
 
     #[test]

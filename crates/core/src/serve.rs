@@ -64,8 +64,9 @@ use gpu_sim::{
 use signal::Recovered;
 
 use crate::error::CusFftError;
+use crate::overload::{LatencyStats, OverloadTally};
 use crate::pipeline::{CusFft, ExecStreams, PreparedRequest, Variant};
-use crate::plan_cache::{CacheStats, PlanCache, PlanKey};
+use crate::plan_cache::{CacheStats, PlanCache, PlanKey, ServeQos};
 
 /// One sparse-FFT request: a signal plus the geometry to serve it under.
 #[derive(Debug, Clone)]
@@ -81,12 +82,14 @@ pub struct ServeRequest {
 }
 
 impl ServeRequest {
-    /// The cache key this request resolves to.
+    /// The cache key this request resolves to at full QoS. The overload
+    /// path may re-key onto [`ServeQos::Degraded`] under queue pressure.
     pub fn plan_key(&self) -> PlanKey {
         PlanKey {
             n: self.time.len(),
             k: self.k,
             variant: self.variant,
+            qos: ServeQos::Full,
         }
     }
 }
@@ -151,17 +154,45 @@ pub struct ServeResponse {
     pub num_hits: usize,
     /// The path that produced this response.
     pub path: ServePath,
+    /// The accuracy tier the request was served at ([`ServeQos::Full`]
+    /// everywhere except the overload path's brownout mode).
+    pub qos: ServeQos,
 }
 
-/// Terminal outcome of one request: either a response (possibly via
-/// retry or CPU fallback) or a typed failure. Requests fail individually;
-/// one bad request never takes down its batch.
+/// Terminal outcome of one request. Requests fail individually; one bad
+/// request never takes down its batch. The rejection variants
+/// ([`RequestOutcome::Shed`], [`RequestOutcome::DeadlineExceeded`]) only
+/// arise on the overload path ([`ServeEngine::serve_overload`]), which
+/// refuses work *before* it touches the device — distinguishable from
+/// [`RequestOutcome::Failed`], which means recovery was attempted and
+/// exhausted.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestOutcome {
     /// The request completed; see [`ServeResponse::path`] for how.
     Done(ServeResponse),
     /// The request failed after exhausting recovery.
-    Failed(CusFftError),
+    Failed {
+        /// The last error recovery saw.
+        error: CusFftError,
+        /// Individual retry attempts made before giving up (`0` when the
+        /// request never reached execution, e.g. failed validation).
+        after_attempts: u32,
+    },
+    /// Admission control rejected the request: the queue was full at its
+    /// arrival time. The request never executed.
+    Shed {
+        /// Predicted queue depth at the request's arrival.
+        queue_depth: usize,
+    },
+    /// Admission control rejected the request: it could not finish
+    /// within its deadline even at the front of the predicted queue. The
+    /// request never executed.
+    DeadlineExceeded {
+        /// Predicted completion latency (seconds after arrival).
+        predicted: f64,
+        /// The request's deadline (seconds after arrival).
+        deadline: f64,
+    },
 }
 
 impl RequestOutcome {
@@ -169,16 +200,25 @@ impl RequestOutcome {
     pub fn response(&self) -> Option<&ServeResponse> {
         match self {
             RequestOutcome::Done(r) => Some(r),
-            RequestOutcome::Failed(_) => None,
+            _ => None,
         }
     }
 
-    /// The error, if the request failed.
+    /// The error, if the request failed after attempting execution.
     pub fn error(&self) -> Option<&CusFftError> {
         match self {
-            RequestOutcome::Done(_) => None,
-            RequestOutcome::Failed(e) => Some(e),
+            RequestOutcome::Failed { error, .. } => Some(error),
+            _ => None,
         }
+    }
+
+    /// Whether admission control rejected the request before execution
+    /// (shed or past-deadline).
+    pub fn is_rejected(&self) -> bool {
+        matches!(
+            self,
+            RequestOutcome::Shed { .. } | RequestOutcome::DeadlineExceeded { .. }
+        )
     }
 }
 
@@ -199,16 +239,28 @@ pub struct FaultTally {
     pub failed: u64,
     /// Panics contained (per-request boundaries and lost workers).
     pub worker_panics: u64,
+    /// Silent-data-corruption events caught by the sampled residual
+    /// check (each one routed into retry/CPU recovery like a fault).
+    pub sdc_detected: u64,
 }
 
 impl FaultTally {
-    fn absorb(&mut self, other: &FaultTally) {
+    pub(crate) fn absorb(&mut self, other: &FaultTally) {
         self.injected += other.injected;
         self.retries += other.retries;
         self.evictions += other.evictions;
         self.cpu_fallbacks += other.cpu_fallbacks;
         self.failed += other.failed;
         self.worker_panics += other.worker_panics;
+        self.sdc_detected += other.sdc_detected;
+    }
+
+    /// Counts a detected silent corruption when `e` is the residual
+    /// check's rejection.
+    fn note(&mut self, e: &CusFftError) {
+        if matches!(e, CusFftError::SilentCorruption { .. }) {
+            self.sdc_detected += 1;
+        }
     }
 }
 
@@ -229,6 +281,15 @@ pub struct ServeReport {
     pub groups: usize,
     /// Fault-injection and recovery counters for this batch.
     pub faults: FaultTally,
+    /// Overload-control counters (all zero for [`ServeEngine::serve_batch`],
+    /// which has no admission control).
+    pub overload: OverloadTally,
+    /// Simulated request-latency distribution (empty/zero for
+    /// [`ServeEngine::serve_batch`], which has no arrival times).
+    pub latency: LatencyStats,
+    /// Circuit-breaker transitions, in decision order (empty for
+    /// [`ServeEngine::serve_batch`]).
+    pub breaker: Vec<gpu_sim::BreakerTransition>,
 }
 
 impl ServeReport {
@@ -240,12 +301,16 @@ impl ServeReport {
 }
 
 /// A geometry group: every request index served by one plan.
-struct Group {
+pub(crate) struct Group {
     /// Global group index — the fault-scope base, so fault decisions are
     /// invariant under how groups are dealt to workers.
-    gid: usize,
-    plan: Arc<CusFft>,
-    indices: Vec<usize>,
+    pub(crate) gid: usize,
+    pub(crate) plan: Arc<CusFft>,
+    pub(crate) indices: Vec<usize>,
+    /// Accuracy tier this group is served at (always [`ServeQos::Full`]
+    /// on the plain batch path; the overload path's brownout re-keys
+    /// pressured requests onto degraded plans).
+    pub(crate) qos: ServeQos,
 }
 
 /// Base backoff before the first individual retry; doubles per attempt.
@@ -253,25 +318,28 @@ const RETRY_BACKOFF_BASE: f64 = 50e-6;
 
 /// Fault scope of group `g`'s batch attempt. Scopes only need to be
 /// distinct (the fault plan hashes them); bit 19 separates the batch
-/// attempt from the retry scopes below.
-fn scope_group(g: usize) -> u64 {
-    (g as u64) << 20
+/// attempt from the retry scopes below, bit 18 separates a hedged
+/// duplicate from its primary (a hedge is an independent run, not a
+/// replay of the primary's faults).
+pub(crate) fn scope_group(g: usize, hedged: bool) -> u64 {
+    ((g as u64) << 20) | (u64::from(hedged) << 18)
 }
 
 /// Fault scope of retry `attempt` for the request at position `j` of
-/// group `g` (fits j < 2^15, attempt < 16 — far beyond practical use).
-fn scope_retry(g: usize, j: usize, attempt: u32) -> u64 {
-    ((g as u64) << 20) | (1 << 19) | ((j as u64) << 4) | u64::from(attempt)
+/// group `g` (fits j < 2^14, attempt < 16 — far beyond practical use).
+pub(crate) fn scope_retry(g: usize, j: usize, attempt: u32, hedged: bool) -> u64 {
+    ((g as u64) << 20) | (1 << 19) | (u64::from(hedged) << 18) | ((j as u64) << 4)
+        | u64::from(attempt)
 }
 
 /// The concurrent serving engine: plan cache + sharded batch dispatch.
 pub struct ServeEngine {
-    spec: DeviceSpec,
+    pub(crate) spec: DeviceSpec,
     /// Device plans are built against. Plan buffers are host-backed and
     /// device-agnostic, so workers execute them on private devices.
-    home: Arc<GpuDevice>,
-    cache: PlanCache,
-    config: ServeConfig,
+    pub(crate) home: Arc<GpuDevice>,
+    pub(crate) cache: PlanCache,
+    pub(crate) config: ServeConfig,
 }
 
 impl ServeEngine {
@@ -372,7 +440,10 @@ impl ServeEngine {
         }
         for (idx, err) in prefailed {
             faults.failed += 1;
-            outcomes[idx] = Some(RequestOutcome::Failed(err));
+            outcomes[idx] = Some(RequestOutcome::Failed {
+                error: err,
+                after_attempts: 0,
+            });
         }
         let outcomes: Vec<RequestOutcome> = outcomes
             .into_iter()
@@ -397,6 +468,9 @@ impl ServeEngine {
             cache: self.cache.stats(),
             groups: num_groups,
             faults,
+            overload: OverloadTally::default(),
+            latency: LatencyStats::default(),
+            breaker: Vec::new(),
         }
     }
 
@@ -429,6 +503,7 @@ impl ServeEngine {
                         gid: groups.len(),
                         plan,
                         indices: vec![idx],
+                        qos: ServeQos::Full,
                     });
                 }
             }
@@ -439,7 +514,7 @@ impl ServeEngine {
 
 /// Rejects geometries `SfftParams::tuned` would panic on, as typed
 /// errors before any plan is built or device touched.
-fn validate_request(req: &ServeRequest) -> Result<(), CusFftError> {
+pub(crate) fn validate_request(req: &ServeRequest) -> Result<(), CusFftError> {
     let n = req.time.len();
     let bad = |reason: String| Err(CusFftError::BadRequest { reason });
     if n == 0 {
@@ -483,7 +558,9 @@ fn run_worker(
     let mut tally = FaultTally::default();
     let mut results = Vec::new();
     for group in shard {
-        results.extend(run_group(&device, group, requests, &streams, cfg, &mut tally));
+        results.extend(run_group(
+            &device, group, requests, &streams, cfg, &mut tally, false,
+        ));
     }
     tally.injected = device.faults_injected();
     WorkerOutput {
@@ -513,14 +590,17 @@ fn run_caught<T>(
 
 /// One group under fault recovery: batch attempt, per-request eviction,
 /// individual retries with backoff, CPU fallback. Returns an outcome for
-/// every index in the group.
-fn run_group(
+/// every index in the group. `hedged` selects the hedge fault scopes so
+/// a hedged duplicate rolls independent fault decisions from its
+/// primary.
+pub(crate) fn run_group(
     device: &GpuDevice,
     group: &Group,
     requests: &[ServeRequest],
     streams: &ExecStreams,
     cfg: &ServeConfig,
     tally: &mut FaultTally,
+    hedged: bool,
 ) -> Vec<(usize, RequestOutcome)> {
     let g = group.gid;
     let plan = &group.plan;
@@ -532,7 +612,7 @@ fn run_group(
 
     // Batch attempt. Every fault decision inside it rolls in the group's
     // own scope, so the sequence is invariant under worker placement.
-    device.set_fault_scope(scope_group(g));
+    device.set_fault_scope(scope_group(g, hedged));
     let mut preps: Vec<Option<PreparedRequest>> = Vec::with_capacity(nreq);
     for (j, &idx) in group.indices.iter().enumerate() {
         let req = &requests[idx];
@@ -544,6 +624,7 @@ fn run_group(
             Ok(p) => preps.push(Some(p)),
             Err(e) => {
                 tally.evictions += 1;
+                tally.note(&e);
                 last_err[j] = Some(e);
                 individual.push(j);
                 preps.push(None);
@@ -564,6 +645,7 @@ fn run_group(
             // estimation batch poisons the half-transformed group), so
             // every survivor re-prepares from scratch individually.
             batched_ok = false;
+            tally.note(&e);
             for &j in &survivors {
                 tally.evictions += 1;
                 last_err[j] = Some(e.clone());
@@ -585,10 +667,12 @@ fn run_group(
                         recovered,
                         num_hits,
                         path: ServePath::Gpu,
+                        qos: group.qos,
                     }));
                 }
                 Err(e) => {
                     tally.evictions += 1;
+                    tally.note(&e);
                     last_err[j] = Some(e);
                     individual.push(j);
                 }
@@ -608,7 +692,7 @@ fn run_group(
             // but contending for no device resource.
             let backoff = RETRY_BACKOFF_BASE * (1u64 << (attempt - 1)) as f64;
             device.charge_host_op("retry_backoff", backoff, streams.main);
-            device.set_fault_scope(scope_retry(g, j, attempt));
+            device.set_fault_scope(scope_retry(g, j, attempt, hedged));
             let r = run_caught(tally, "retry", || {
                 let signal = device.try_resident(&req.time, streams.main)?;
                 let mut prep = plan.prepare(device, &signal, req.seed, streams)?;
@@ -618,6 +702,7 @@ fn run_group(
                     recovered,
                     num_hits,
                     path: ServePath::GpuRetry,
+                    qos: group.qos,
                 })
             });
             match r {
@@ -625,7 +710,10 @@ fn run_group(
                     success = Some(resp);
                     break;
                 }
-                Err(e) => last_err[j] = Some(e),
+                Err(e) => {
+                    tally.note(&e);
+                    last_err[j] = Some(e);
+                }
             }
         }
         outcomes[j] = Some(match success {
@@ -640,13 +728,17 @@ fn run_group(
                     num_hits: recovered.len(),
                     recovered,
                     path: ServePath::Cpu,
+                    qos: group.qos,
                 })
             }
             None => {
                 tally.failed += 1;
-                RequestOutcome::Failed(last_err[j].take().unwrap_or(CusFftError::Panic {
-                    context: "request failed without a recorded error".into(),
-                }))
+                RequestOutcome::Failed {
+                    error: last_err[j].take().unwrap_or(CusFftError::Panic {
+                        context: "request failed without a recorded error".into(),
+                    }),
+                    after_attempts: cfg.max_retries,
+                }
             }
         });
     }
@@ -687,12 +779,16 @@ fn recover_worker_loss(
                     num_hits: recovered.len(),
                     recovered,
                     path: ServePath::Cpu,
+                    qos: group.qos,
                 })
             } else {
                 tally.failed += 1;
-                RequestOutcome::Failed(CusFftError::Panic {
-                    context: context.clone(),
-                })
+                RequestOutcome::Failed {
+                    error: CusFftError::Panic {
+                        context: context.clone(),
+                    },
+                    after_attempts: 0,
+                }
             };
             results.push((idx, outcome));
         }

@@ -1,0 +1,337 @@
+//! Per-device circuit breaker.
+//!
+//! A Closed/Open/HalfOpen state machine over *group observations*: the
+//! serving layer executes request groups in epochs, asks the breaker to
+//! [`CircuitBreaker::admit`] each global group index before the epoch
+//! runs, and feeds back one [`CircuitBreaker::observe`] per executed
+//! group afterwards. While Closed, a sliding window of the last
+//! `window` observations is kept; when `trip_faults` of them saw
+//! injected faults the breaker opens and subsequent groups are
+//! short-circuited (the serving layer sends them straight to the CPU
+//! path instead of burning device time on a request that will only come
+//! back through retry + fallback anyway). After `cooldown`
+//! short-circuited admissions the breaker half-opens and lets exactly
+//! one probe group through: a clean probe closes the breaker (window
+//! cleared — the device is presumed recovered), a faulted probe re-opens
+//! it for another full cooldown.
+//!
+//! Determinism: the breaker is driven *only* by global group indices and
+//! fault tallies, both of which are worker-count- and pool-width-
+//! invariant (fault decisions hash the group-scoped ordinal, see
+//! [`crate::fault`]). Admissions and observations happen in global group
+//! order on the coordinator thread, never concurrently, so the decision
+//! sequence — and the [`BreakerTransition`] log — replays bit-for-bit
+//! regardless of how the admitted groups are scheduled across workers.
+
+use std::collections::VecDeque;
+
+/// Breaker thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Sliding window length, in observed groups, used while Closed.
+    pub window: usize,
+    /// Number of faulted groups within the window that trips the
+    /// breaker open.
+    pub trip_faults: usize,
+    /// Number of admissions short-circuited while Open before the
+    /// breaker half-opens and probes the device again.
+    pub cooldown: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 8,
+            trip_faults: 4,
+            cooldown: 4,
+        }
+    }
+}
+
+/// Breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every group is admitted to the device.
+    Closed,
+    /// Tripped: groups are short-circuited past the device.
+    Open,
+    /// Probing: exactly one group is admitted to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Label used in timeline op names (`breaker:<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// What the breaker says about one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Run the group on the device.
+    Admit,
+    /// Run the group on the device as the HalfOpen probe.
+    Probe,
+    /// Do not touch the device; the caller degrades the group.
+    ShortCircuit,
+}
+
+/// One recorded state transition, keyed by the global group index whose
+/// admission or observation caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// Global group index at the transition.
+    pub gid: usize,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+}
+
+/// The state machine. See the module docs for the protocol.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    window: VecDeque<bool>,
+    cooldown_left: usize,
+    probe: Option<usize>,
+    transitions: Vec<BreakerTransition>,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// Creates a Closed breaker. `trip_faults` must be in
+    /// `1..=window` and `cooldown` at least 1.
+    pub fn new(config: BreakerConfig) -> Self {
+        assert!(config.window >= 1, "breaker window must be >= 1");
+        assert!(
+            (1..=config.window).contains(&config.trip_faults),
+            "trip_faults must be in 1..=window"
+        );
+        assert!(config.cooldown >= 1, "cooldown must be >= 1");
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            window: VecDeque::with_capacity(config.window),
+            cooldown_left: 0,
+            probe: None,
+            transitions: Vec::new(),
+            trips: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Every transition so far, in decision order.
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
+    }
+
+    /// Times the breaker has tripped open (including failed probes).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    fn transition(&mut self, gid: usize, to: BreakerState) {
+        self.transitions.push(BreakerTransition {
+            gid,
+            from: self.state,
+            to,
+        });
+        self.state = to;
+    }
+
+    /// Decides whether group `gid` may run on the device. Must be called
+    /// in global group order.
+    pub fn admit(&mut self, gid: usize) -> BreakerDecision {
+        match self.state {
+            BreakerState::Closed => BreakerDecision::Admit,
+            BreakerState::Open => {
+                if self.cooldown_left == 0 {
+                    self.transition(gid, BreakerState::HalfOpen);
+                    self.probe = Some(gid);
+                    BreakerDecision::Probe
+                } else {
+                    self.cooldown_left -= 1;
+                    BreakerDecision::ShortCircuit
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe's verdict hasn't come back yet (it runs in
+                // the same epoch); don't pile more groups onto a device
+                // still under suspicion.
+                if self.probe.is_none() {
+                    self.probe = Some(gid);
+                    BreakerDecision::Probe
+                } else {
+                    BreakerDecision::ShortCircuit
+                }
+            }
+        }
+    }
+
+    /// Reports whether executed group `gid` saw injected faults. Must be
+    /// called in global group order, only for groups that actually ran
+    /// on the device (Admit or Probe).
+    pub fn observe(&mut self, gid: usize, faulted: bool) {
+        match self.state {
+            BreakerState::HalfOpen if self.probe == Some(gid) => {
+                self.probe = None;
+                if faulted {
+                    self.trips += 1;
+                    self.cooldown_left = self.config.cooldown;
+                    self.transition(gid, BreakerState::Open);
+                } else {
+                    // Recovered: forget the faulty history.
+                    self.window.clear();
+                    self.transition(gid, BreakerState::Closed);
+                }
+            }
+            BreakerState::Closed => {
+                self.window.push_back(faulted);
+                while self.window.len() > self.config.window {
+                    self.window.pop_front();
+                }
+                let faults = self.window.iter().filter(|&&f| f).count();
+                if faults >= self.config.trip_faults {
+                    self.trips += 1;
+                    self.cooldown_left = self.config.cooldown;
+                    self.transition(gid, BreakerState::Open);
+                }
+            }
+            // Observations from groups admitted before a mid-epoch trip
+            // land here; the breaker already made up its mind.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(window: usize, trip_faults: usize, cooldown: usize) -> BreakerConfig {
+        BreakerConfig {
+            window,
+            trip_faults,
+            cooldown,
+        }
+    }
+
+    #[test]
+    fn trips_at_exactly_the_threshold() {
+        let mut b = CircuitBreaker::new(cfg(4, 3, 2));
+        b.admit(0);
+        b.observe(0, true);
+        b.admit(1);
+        b.observe(1, true);
+        assert_eq!(b.state(), BreakerState::Closed, "2 faults < trip_faults=3");
+        b.admit(2);
+        b.observe(2, true);
+        assert_eq!(b.state(), BreakerState::Open, "3rd fault trips");
+        assert_eq!(b.trips(), 1);
+        assert_eq!(
+            b.transitions(),
+            &[BreakerTransition {
+                gid: 2,
+                from: BreakerState::Closed,
+                to: BreakerState::Open
+            }]
+        );
+    }
+
+    #[test]
+    fn window_slides_old_faults_out() {
+        let mut b = CircuitBreaker::new(cfg(3, 2, 1));
+        // fault, clean, clean, fault: the window [clean, clean, fault]
+        // never holds 2 faults.
+        for (g, f) in [(0, true), (1, false), (2, false), (3, true)] {
+            assert_eq!(b.admit(g), BreakerDecision::Admit);
+            b.observe(g, f);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // One more fault → window [fault, fault, …tail] trips.
+        b.admit(4);
+        b.observe(4, true);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_short_circuits_exactly_cooldown_admissions_then_probes() {
+        let mut b = CircuitBreaker::new(cfg(2, 1, 3));
+        b.admit(0);
+        b.observe(0, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        for g in 1..=3 {
+            assert_eq!(b.admit(g), BreakerDecision::ShortCircuit, "gid {g}");
+        }
+        assert_eq!(b.admit(4), BreakerDecision::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Further admissions while the probe is outstanding stay off the
+        // device.
+        assert_eq!(b.admit(5), BreakerDecision::ShortCircuit);
+    }
+
+    #[test]
+    fn clean_probe_closes_and_clears_history() {
+        let mut b = CircuitBreaker::new(cfg(2, 2, 1));
+        for g in 0..2 {
+            b.admit(g);
+            b.observe(g, true);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        b.admit(2); // short-circuit (cooldown)
+        assert_eq!(b.admit(3), BreakerDecision::Probe);
+        b.observe(3, false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // History was cleared: one new fault is not enough to re-trip.
+        b.admit(4);
+        b.observe(4, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn faulted_probe_reopens_with_full_cooldown() {
+        let mut b = CircuitBreaker::new(cfg(1, 1, 2));
+        b.admit(0);
+        b.observe(0, true);
+        b.admit(1); // cooldown 2 → short-circuit
+        b.admit(2); // short-circuit
+        assert_eq!(b.admit(3), BreakerDecision::Probe);
+        b.observe(3, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // Full cooldown again before the next probe.
+        assert_eq!(b.admit(4), BreakerDecision::ShortCircuit);
+        assert_eq!(b.admit(5), BreakerDecision::ShortCircuit);
+        assert_eq!(b.admit(6), BreakerDecision::Probe);
+    }
+
+    #[test]
+    fn full_cycle_transition_log() {
+        let mut b = CircuitBreaker::new(cfg(1, 1, 1));
+        b.admit(0);
+        b.observe(0, true); // Closed → Open
+        b.admit(1); // short-circuit
+        b.admit(2); // Open → HalfOpen, probe
+        b.observe(2, false); // HalfOpen → Closed
+        let states: Vec<_> = b.transitions().iter().map(|t| (t.gid, t.to)).collect();
+        assert_eq!(
+            states,
+            vec![
+                (0, BreakerState::Open),
+                (2, BreakerState::HalfOpen),
+                (2, BreakerState::Closed)
+            ]
+        );
+    }
+}

@@ -54,7 +54,7 @@ use rayon::prelude::*;
 use crate::buffer::{DeviceBuffer, MemPool};
 use crate::cost::{bound_by, kernel_cost, transfer_time, KernelCost};
 use crate::error::{GpuError, TransferDir};
-use crate::fault::{FaultClass, FaultConfig, FaultState};
+use crate::fault::{FaultClass, FaultConfig, FaultState, SdcTarget};
 use crate::gmem::Gmem;
 use crate::launch::{LaunchConfig, ThreadCtx};
 use crate::metrics::{aggregate, KernelStats};
@@ -167,6 +167,19 @@ impl GpuDevice {
         self.state.lock().fault.as_ref().map_or(0, |f| f.injected())
     }
 
+    /// Whether result-integrity checks should run against this device:
+    /// true when an installed fault plan can silently corrupt
+    /// device→host payloads. Pipelines gate their (non-free) residual
+    /// checks on this so fault-free timelines stay bit-identical to the
+    /// pre-SDC model.
+    pub fn sdc_checks_enabled(&self) -> bool {
+        self.state
+            .lock()
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.config.sdc_rate > 0.0)
+    }
+
     /// Total device memory (`DeviceSpec::global_mem_bytes`).
     pub fn capacity_bytes(&self) -> u64 {
         self.pool.capacity()
@@ -223,14 +236,16 @@ impl GpuDevice {
     }
 
     /// Rolls the fault decision for the next device op; must be called
-    /// with the state lock held so ordinals follow op-enqueue order.
+    /// with the state lock held so ordinals follow op-enqueue order. The
+    /// trailing `u64` is deterministic corruption entropy (used by the
+    /// SDC class to pick the corrupted element and bit).
     fn decide_fault(
         st: &mut DeviceState,
         classes: &[FaultClass],
-    ) -> Option<(FaultClass, FaultConfig)> {
+    ) -> Option<(FaultClass, FaultConfig, u64)> {
         let f = st.fault.as_mut()?;
         let cfg = f.config;
-        f.decide(classes).map(|c| (c, cfg))
+        f.decide(classes).map(|(c, entropy)| (c, cfg, entropy))
     }
 
     /// Records an injected fault as a timeline op charging the time the
@@ -274,7 +289,7 @@ impl GpuDevice {
         {
             let mut st = self.state.lock();
             match Self::decide_fault(&mut st, &[FaultClass::Alloc, FaultClass::H2d]) {
-                Some((FaultClass::Alloc, _)) => {
+                Some((FaultClass::Alloc, ..)) => {
                     Self::push_fault_op(&mut st, FaultClass::Alloc, "htod", Engine::Pcie, 0.0, stream);
                     return Err(GpuError::OutOfMemory {
                         requested: bytes as u64,
@@ -282,7 +297,7 @@ impl GpuDevice {
                         capacity: self.pool.capacity(),
                     });
                 }
-                Some((FaultClass::H2d, _)) => {
+                Some((FaultClass::H2d, ..)) => {
                     let dur = transfer_time(&self.spec, bytes);
                     Self::push_fault_op(&mut st, FaultClass::H2d, "htod", Engine::Pcie, dur, stream);
                     return Err(GpuError::TransferFailure {
@@ -319,7 +334,7 @@ impl GpuDevice {
     ) -> Result<DeviceBuffer<T>, GpuError> {
         {
             let mut st = self.state.lock();
-            if let Some((FaultClass::Alloc, _)) = Self::decide_fault(&mut st, &[FaultClass::Alloc])
+            if let Some((FaultClass::Alloc, ..)) = Self::decide_fault(&mut st, &[FaultClass::Alloc])
             {
                 Self::push_fault_op(&mut st, FaultClass::Alloc, "alloc", Engine::Device, 0.0, stream);
                 return Err(GpuError::OutOfMemory {
@@ -353,7 +368,7 @@ impl GpuDevice {
     ) -> Result<DeviceBuffer<T>, GpuError> {
         {
             let mut st = self.state.lock();
-            if let Some((FaultClass::Alloc, _)) = Self::decide_fault(&mut st, &[FaultClass::Alloc])
+            if let Some((FaultClass::Alloc, ..)) = Self::decide_fault(&mut st, &[FaultClass::Alloc])
             {
                 Self::push_fault_op(&mut st, FaultClass::Alloc, "resident", Engine::Device, 0.0, stream);
                 return Err(GpuError::OutOfMemory {
@@ -369,17 +384,27 @@ impl GpuDevice {
     /// Device→host copy; charges PCIe time on `stream`. Can fault with a
     /// transfer failure or a detected-uncorrectable ECC error (both
     /// transient: the copy engine time is charged, no data is returned,
-    /// and a retry rolls a fresh decision).
-    pub fn try_dtoh<T: Copy>(
+    /// and a retry rolls a fresh decision), or — for susceptible payload
+    /// types, when `sdc_rate > 0` — *succeed* with one element of the
+    /// returned copy silently corrupted (a zero-duration
+    /// `fault:sdc:dtoh` marker op records the injection on the timeline;
+    /// the device-side buffer stays intact, so a retry after detection
+    /// re-reads clean data under a fresh decision).
+    pub fn try_dtoh<T: Copy + SdcTarget>(
         &self,
         buf: &DeviceBuffer<T>,
         stream: StreamId,
     ) -> Result<Vec<T>, GpuError> {
         let bytes = buf.size_bytes();
+        let classes: &[FaultClass] = if T::SUSCEPTIBLE {
+            &[FaultClass::D2h, FaultClass::Ecc, FaultClass::Sdc]
+        } else {
+            &[FaultClass::D2h, FaultClass::Ecc]
+        };
         {
             let mut st = self.state.lock();
-            match Self::decide_fault(&mut st, &[FaultClass::D2h, FaultClass::Ecc]) {
-                Some((FaultClass::D2h, _)) => {
+            match Self::decide_fault(&mut st, classes) {
+                Some((FaultClass::D2h, ..)) => {
                     let dur = transfer_time(&self.spec, bytes);
                     Self::push_fault_op(&mut st, FaultClass::D2h, "dtoh", Engine::Pcie, dur, stream);
                     return Err(GpuError::TransferFailure {
@@ -387,10 +412,21 @@ impl GpuDevice {
                         bytes,
                     });
                 }
-                Some((FaultClass::Ecc, _)) => {
+                Some((FaultClass::Ecc, ..)) => {
                     let dur = transfer_time(&self.spec, bytes);
                     Self::push_fault_op(&mut st, FaultClass::Ecc, "dtoh", Engine::Pcie, dur, stream);
                     return Err(GpuError::EccCorruption { buffer_bytes: bytes });
+                }
+                Some((FaultClass::Sdc, _, entropy)) => {
+                    Self::push_fault_op(&mut st, FaultClass::Sdc, "dtoh", Engine::Host, 0.0, stream);
+                    drop(st);
+                    self.push_transfer("dtoh", bytes, stream);
+                    let mut data = buf.peek();
+                    if !data.is_empty() {
+                        let idx = (entropy as usize) % data.len();
+                        data[idx].corrupt(entropy >> 8);
+                    }
+                    return Ok(data);
                 }
                 _ => {}
             }
@@ -403,7 +439,7 @@ impl GpuDevice {
     ///
     /// Invariant: valid only on a device without a fault plan —
     /// serving-path code uses [`GpuDevice::try_dtoh`].
-    pub fn dtoh<T: Copy>(&self, buf: &DeviceBuffer<T>, stream: StreamId) -> Vec<T> {
+    pub fn dtoh<T: Copy + SdcTarget>(&self, buf: &DeviceBuffer<T>, stream: StreamId) -> Vec<T> {
         self.try_dtoh(buf, stream)
             .expect("dtoh on a fault-free device")
     }
@@ -435,14 +471,14 @@ impl GpuDevice {
     fn launch_fault_gate(&self, name: &str, stream: StreamId) -> Result<(), GpuError> {
         let mut st = self.state.lock();
         match Self::decide_fault(&mut st, &[FaultClass::Launch, FaultClass::Timeout]) {
-            Some((FaultClass::Launch, _)) => {
+            Some((FaultClass::Launch, ..)) => {
                 let dur = self.spec.launch_overhead_us * 1e-6;
                 Self::push_fault_op(&mut st, FaultClass::Launch, name, Engine::Device, dur, stream);
                 Err(GpuError::LaunchFailure {
                     kernel: name.to_string(),
                 })
             }
-            Some((FaultClass::Timeout, cfg)) => {
+            Some((FaultClass::Timeout, cfg, _)) => {
                 Self::push_fault_op(
                     &mut st,
                     FaultClass::Timeout,

@@ -44,6 +44,12 @@ pub enum FaultClass {
     Timeout,
     /// ECC-detected corruption on a device→host read.
     Ecc,
+    /// Silent data corruption: a device→host read *succeeds* but one
+    /// element of the returned payload has a high bit flipped. Unlike
+    /// every other class this is not a typed error — the caller sees
+    /// `Ok` with wrong data, and only a result-integrity check (the
+    /// serving layer's sampled residual check) can catch it.
+    Sdc,
 }
 
 impl FaultClass {
@@ -56,6 +62,7 @@ impl FaultClass {
             FaultClass::Launch => 0x04,
             FaultClass::Timeout => 0x05,
             FaultClass::Ecc => 0x06,
+            FaultClass::Sdc => 0x07,
         }
     }
 
@@ -68,6 +75,7 @@ impl FaultClass {
             FaultClass::Launch => "launch",
             FaultClass::Timeout => "timeout",
             FaultClass::Ecc => "ecc",
+            FaultClass::Sdc => "sdc",
         }
     }
 }
@@ -95,6 +103,12 @@ pub struct FaultConfig {
     pub timeout_rate: f64,
     /// ECC-detected corruption on device→host reads.
     pub ecc_rate: f64,
+    /// Silent data corruption on device→host reads: the transfer
+    /// succeeds but one element of the payload comes back with a high
+    /// bit flipped. Off by default (including in [`FaultConfig::uniform`]
+    /// / [`FaultConfig::persistent`]) — opt in with
+    /// [`FaultConfig::with_sdc`].
+    pub sdc_rate: f64,
     /// Simulated seconds a timed-out kernel holds the device before the
     /// watchdog kills it (charged on the timeline).
     pub timeout_s: f64,
@@ -111,8 +125,19 @@ impl FaultConfig {
             launch_rate: rate,
             timeout_rate: rate,
             ecc_rate: rate,
+            sdc_rate: 0.0,
             timeout_s: 1e-3,
         }
+    }
+
+    /// Enables silent-data-corruption injection at `rate`. Kept out of
+    /// [`FaultConfig::uniform`] because SDC changes *payloads*, not
+    /// control flow: workloads without an integrity check downstream
+    /// would silently produce wrong answers rather than exercise
+    /// recovery.
+    pub fn with_sdc(mut self, rate: f64) -> Self {
+        self.sdc_rate = rate;
+        self
     }
 
     /// A persistently broken device: every operation faults. Retry can
@@ -130,6 +155,7 @@ impl FaultConfig {
             FaultClass::Launch => self.launch_rate,
             FaultClass::Timeout => self.timeout_rate,
             FaultClass::Ecc => self.ecc_rate,
+            FaultClass::Sdc => self.sdc_rate,
         }
     }
 }
@@ -149,6 +175,59 @@ pub fn fault_roll(seed: u64, scope: u64, ordinal: u64, class: FaultClass) -> f64
     let h = splitmix64(seed ^ splitmix64(scope ^ splitmix64(ordinal ^ (class.salt() << 56))));
     // 53 mantissa bits → exact double in [0, 1).
     (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Entropy accompanying a fault decision — the corruption site for SDC
+/// (element index, bit choice). Salted differently from every decision
+/// roll so it is independent of *whether* the fault fired.
+fn corruption_entropy(seed: u64, scope: u64, ordinal: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(scope ^ splitmix64(ordinal ^ (0x5D << 56))))
+}
+
+/// Payload types a device→host transfer can return, with their silent-
+/// data-corruption behaviour. Integer payloads (bucket indices,
+/// permutation tables, vote counters) are declared immune: flipping a
+/// bit of an index produces loud downstream failures (out-of-range
+/// hits), not the *silent* wrong-answer mode this fault class models —
+/// floating-point spectra are where SDC hides.
+pub trait SdcTarget: Sized {
+    /// Whether SDC injection applies to this payload type.
+    const SUSCEPTIBLE: bool = false;
+    /// Flips a high-order bit chosen by `entropy`. Only called on
+    /// susceptible types.
+    fn corrupt(&mut self, _entropy: u64) {}
+}
+
+macro_rules! sdc_immune {
+    ($($t:ty),* $(,)?) => { $(impl SdcTarget for $t {})* };
+}
+sdc_immune!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Flips one of the nine highest bits (top mantissa bits, exponent,
+/// sign) of an `f64`, so the corrupted value differs from the original
+/// by at least ~half its magnitude — the "stuck DRAM cell in the result
+/// buffer" failure mode, not a rounding-level perturbation.
+fn flip_high_bit(v: f64, entropy: u64) -> f64 {
+    let bit = 55 + (entropy % 9) as u32;
+    f64::from_bits(v.to_bits() ^ (1u64 << bit))
+}
+
+impl SdcTarget for f64 {
+    const SUSCEPTIBLE: bool = true;
+    fn corrupt(&mut self, entropy: u64) {
+        *self = flip_high_bit(*self, entropy);
+    }
+}
+
+impl SdcTarget for fft::cplx::Cplx {
+    const SUSCEPTIBLE: bool = true;
+    fn corrupt(&mut self, entropy: u64) {
+        if entropy & (1 << 16) == 0 {
+            self.re = flip_high_bit(self.re, entropy >> 17);
+        } else {
+            self.im = flip_high_bit(self.im, entropy >> 17);
+        }
+    }
 }
 
 /// Mutable per-device injection state: the config plus the current scope
@@ -183,15 +262,19 @@ impl FaultState {
     /// Takes the decision for the next device op. `classes` lists the
     /// fault classes applicable to the op in priority order; the first
     /// one whose roll comes in under its rate fires. Exactly one ordinal
-    /// is consumed whether or not a fault fires.
-    pub(crate) fn decide(&mut self, classes: &[FaultClass]) -> Option<FaultClass> {
+    /// is consumed whether or not a fault fires — adding or removing a
+    /// class from the list therefore never shifts later decisions. The
+    /// returned entropy locates the corruption for SDC faults and is
+    /// itself a pure function of `(seed, scope, ordinal)`.
+    pub(crate) fn decide(&mut self, classes: &[FaultClass]) -> Option<(FaultClass, u64)> {
         let ordinal = self.ordinal;
         self.ordinal += 1;
         for &class in classes {
             let rate = self.config.rate(class);
             if rate > 0.0 && fault_roll(self.config.seed, self.scope, ordinal, class) < rate {
                 self.injected += 1;
-                return Some(class);
+                let entropy = corruption_entropy(self.config.seed, self.scope, ordinal);
+                return Some((class, entropy));
             }
         }
         None
@@ -262,9 +345,55 @@ mod tests {
     }
 
     #[test]
+    fn sdc_is_opt_in_and_independent() {
+        // uniform()/persistent() leave SDC off — PR 3's bit-identity
+        // tests rely on that.
+        assert_eq!(FaultConfig::uniform(1, 0.5).sdc_rate, 0.0);
+        assert_eq!(FaultConfig::persistent(1).sdc_rate, 0.0);
+        let cfg = FaultConfig::uniform(1, 0.0).with_sdc(1.0);
+        let mut st = FaultState::new(cfg);
+        // SDC only fires when listed as applicable.
+        assert_eq!(st.decide(&[FaultClass::D2h, FaultClass::Ecc]), None);
+        let hit = st.decide(&[FaultClass::D2h, FaultClass::Ecc, FaultClass::Sdc]);
+        assert_eq!(hit.map(|(c, _)| c), Some(FaultClass::Sdc));
+    }
+
+    #[test]
+    fn listing_sdc_never_shifts_other_decisions() {
+        // One ordinal per decide() regardless of the class list, and
+        // per-class salted rolls: adding Sdc to an op's class list must
+        // not change what the other classes do.
+        let cfg = FaultConfig::uniform(9, 0.3);
+        let mut a = FaultState::new(cfg);
+        let mut b = FaultState::new(cfg.with_sdc(0.0));
+        for _ in 0..200 {
+            let ra = a.decide(&[FaultClass::D2h, FaultClass::Ecc]);
+            let rb = b.decide(&[FaultClass::D2h, FaultClass::Ecc, FaultClass::Sdc]);
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn corruption_flips_a_high_bit() {
+        // A high-bit flip moves the value by at least half its magnitude
+        // (possibly to NaN/Inf when the exponent tops out) — never a
+        // rounding-level nudge. NaN deltas count as (very) corrupted.
+        for e in 0..64u64 {
+            let mut v = 1.25f64;
+            v.corrupt(e);
+            let dv = (v - 1.25).abs();
+            assert!(dv.is_nan() || dv >= 0.5, "entropy {e} gave weak flip: {v}");
+            let mut c = fft::cplx::Cplx::new(1.0, -1.0);
+            c.corrupt(e);
+            let dc = c.dist(fft::cplx::Cplx::new(1.0, -1.0));
+            assert!(dc.is_nan() || dc >= 0.5);
+        }
+    }
+
+    #[test]
     fn scope_reset_replays_the_same_decisions() {
         let cfg = FaultConfig::uniform(11, 0.3);
-        let take = |st: &mut FaultState| -> Vec<Option<FaultClass>> {
+        let take = |st: &mut FaultState| -> Vec<Option<(FaultClass, u64)>> {
             (0..50).map(|_| st.decide(&[FaultClass::Launch])).collect()
         };
         let mut a = FaultState::new(cfg);
@@ -296,11 +425,13 @@ mod tests {
         // With rate 1.0 everywhere, the first listed class wins.
         let mut st = FaultState::new(FaultConfig::persistent(0));
         assert_eq!(
-            st.decide(&[FaultClass::Timeout, FaultClass::Launch]),
+            st.decide(&[FaultClass::Timeout, FaultClass::Launch])
+                .map(|(c, _)| c),
             Some(FaultClass::Timeout)
         );
         assert_eq!(
-            st.decide(&[FaultClass::Launch, FaultClass::Timeout]),
+            st.decide(&[FaultClass::Launch, FaultClass::Timeout])
+                .map(|(c, _)| c),
             Some(FaultClass::Launch)
         );
     }

@@ -22,6 +22,7 @@
 //! parameters come from Table I and public Kepler documentation.
 
 pub mod atomic;
+pub mod breaker;
 pub mod buffer;
 pub mod cost;
 pub mod device;
@@ -36,11 +37,14 @@ pub mod timeline;
 pub mod trace;
 
 pub use atomic::{DevAtomicCplx, DevAtomicF64, DevAtomicU32};
+pub use breaker::{
+    BreakerConfig, BreakerDecision, BreakerState, BreakerTransition, CircuitBreaker,
+};
 pub use buffer::{DeviceBuffer, MemPool};
 pub use cost::{kernel_cost, transfer_time, KernelCost};
 pub use device::{GpuDevice, LaunchRecord, DEFAULT_STREAM};
 pub use error::{GpuError, TransferDir};
-pub use fault::{fault_roll, FaultClass, FaultConfig};
+pub use fault::{fault_roll, FaultClass, FaultConfig, SdcTarget};
 pub use gmem::Gmem;
 pub use launch::{LaunchConfig, ThreadCtx};
 pub use metrics::KernelStats;

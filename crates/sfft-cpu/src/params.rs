@@ -95,6 +95,21 @@ impl Tuning {
         }
         t
     }
+
+    /// Brownout tuning: the serving layer's reduced-accuracy mode under
+    /// queue pressure. Halves the location and estimation loop counts
+    /// (the dominant runtime term — each loop is a full
+    /// permute/filter/FFT/select round), trading recovery margin for
+    /// latency per the accuracy/runtime curves in the sFFT survey
+    /// literature. Floors keep the voting scheme functional: at least
+    /// two location loops so a vote threshold exists, and enough
+    /// estimation loops for the median to reject outliers.
+    pub fn degraded(mut self) -> Self {
+        self.loops_loc = (self.loops_loc / 2).max(2);
+        self.loops_est = (self.loops_est / 2).max(3);
+        self.loops_thresh = self.loops_thresh.min(self.loops_loc).max(1);
+        self
+    }
 }
 
 /// Why parameters could not be derived for a `(n, k)` problem.
@@ -244,6 +259,19 @@ mod tests {
         let c = SfftParams::tuned(1 << 18, 10);
         assert!(b.b_loc >= a.b_loc);
         assert!(c.b_loc >= a.b_loc);
+    }
+
+    #[test]
+    fn degraded_tuning_halves_loops_and_stays_valid() {
+        let d = Tuning::default().degraded();
+        assert_eq!(d.loops_loc, 2);
+        assert_eq!(d.loops_est, 6);
+        assert!(d.loops_thresh <= d.loops_loc && d.loops_thresh >= 1);
+        let p = SfftParams::with_tuning(1 << 14, 20, d);
+        assert!(p.loops_total() < SfftParams::tuned(1 << 14, 20).loops_total());
+        // Degrading an already-degraded tuning hits the floors, never 0.
+        let dd = d.degraded().degraded();
+        assert!(dd.loops_loc >= 2 && dd.loops_est >= 3 && dd.loops_thresh >= 1);
     }
 
     #[test]

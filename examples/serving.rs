@@ -1,13 +1,17 @@
 //! Serving: push a mixed batch of sparse-FFT requests through the
 //! concurrent serving engine and inspect the plan cache and the merged
-//! multi-stream timeline.
+//! multi-stream timeline — then overload it and watch admission
+//! control, brownout QoS and the circuit breaker hold the line.
 //!
 //! ```text
 //! cargo run --release --example serving
 //! ```
 
-use cusfft::{ServeConfig, ServeEngine, ServePath, ServeRequest, Variant};
-use gpu_sim::{DeviceSpec, FaultConfig};
+use cusfft::{
+    OverloadConfig, RequestOutcome, ServeConfig, ServeEngine, ServePath, ServeQos, ServeRequest,
+    TimedRequest, Variant,
+};
+use gpu_sim::{BreakerConfig, DeviceSpec, FaultConfig};
 use signal::{MagnitudeModel, SparseSignal};
 
 fn main() {
@@ -93,6 +97,77 @@ fn main() {
         requests.len(),
         "every request resolves even on a flaky device"
     );
+
+    // Overload: 24 requests all arriving at once, some with unmeetable
+    // deadlines, against a bounded queue. Admission control sheds the
+    // overflow before it costs device time, queue pressure re-plans
+    // later arrivals onto the degraded-accuracy tier, and everything
+    // that is admitted completes.
+    let trace: Vec<TimedRequest> = (0..24)
+        .map(|i| {
+            let (n, k) = geometries[i % geometries.len()];
+            let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, 400 + i as u64);
+            let req = ServeRequest {
+                time: s.time,
+                k,
+                variant: Variant::Optimized,
+                seed: 11 * i as u64 + 2,
+            };
+            let t = TimedRequest::at(req, 0.0);
+            if i % 6 == 5 {
+                t.with_deadline(0.0) // cannot be met: service takes time
+            } else {
+                t
+            }
+        })
+        .collect();
+    let policy = OverloadConfig {
+        queue_capacity: 12,
+        brownout_depth: 6,
+        breaker: BreakerConfig::default(),
+        ..OverloadConfig::default()
+    };
+    let report4 = engine.serve_overload(&trace, &policy);
+    println!(
+        "\noverload: {} requests at t=0 against a queue of {}:",
+        trace.len(),
+        policy.queue_capacity
+    );
+    print_report(&report4);
+    let mut done = 0;
+    let mut failed = 0;
+    let mut shed = 0;
+    let mut missed = 0;
+    for o in &report4.outcomes {
+        match o {
+            RequestOutcome::Done(_) => done += 1,
+            RequestOutcome::Failed { .. } => failed += 1,
+            RequestOutcome::Shed { .. } => shed += 1,
+            RequestOutcome::DeadlineExceeded { .. } => missed += 1,
+        }
+    }
+    println!(
+        "  outcomes: {done} done, {failed} failed, {shed} shed, {missed} past-deadline"
+    );
+    let degraded = report4
+        .responses()
+        .filter(|r| r.qos == ServeQos::Degraded)
+        .count();
+    let ov = report4.overload;
+    println!(
+        "  overload: {} admitted ({} degraded-QoS, {degraded} served degraded), \
+         {} hedges ({} wins), {} breaker short-circuits",
+        ov.admitted, ov.degraded, ov.hedges, ov.hedge_wins, ov.breaker_short_circuits
+    );
+    println!(
+        "  latency: p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms over {} completions",
+        report4.latency.p50 * 1e3,
+        report4.latency.p99 * 1e3,
+        report4.latency.max * 1e3,
+        report4.latency.count
+    );
+    assert_eq!(done + failed + shed + missed, trace.len());
+    assert!(shed > 0, "a 2x-capacity burst must shed");
 }
 
 fn print_report(report: &cusfft::ServeReport) {

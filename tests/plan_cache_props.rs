@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use cusfft::{PlanCache, PlanKey, Variant};
+use cusfft::{PlanCache, PlanKey, ServeQos, Variant};
 use gpu_sim::{DeviceSpec, GpuDevice};
 use proptest::prelude::*;
 
@@ -20,6 +20,7 @@ fn key(n_exp: usize, k_sel: usize, v_sel: usize) -> PlanKey {
         } else {
             Variant::Optimized
         },
+        qos: ServeQos::Full,
     }
 }
 

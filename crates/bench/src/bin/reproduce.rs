@@ -57,7 +57,7 @@ fn parse_args() -> Opts {
             }
             "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
             "--help" | "-h" => {
-                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve hostperf overload all");
+                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve hostperf overload trace all");
                 println!("flags:   --full (paper-scale sweep)  --smoke (tiny CI sizes)  --k K  --out DIR");
                 std::process::exit(0);
             }
@@ -158,6 +158,50 @@ fn main() {
     if opts.target == "overload" {
         overload(&opts, seed);
     }
+    // trace exports the telemetry artifacts for one overload run; like
+    // the other extensions it runs only when asked for explicitly.
+    if opts.target == "trace" {
+        trace(&opts, seed);
+    }
+}
+
+/// Extension: unified telemetry — serves the flaky-device overload
+/// workload once and writes the three telemetry artifacts: a
+/// Chrome/Perfetto trace (`trace.json`, load it at ui.perfetto.dev or
+/// chrome://tracing), the Prometheus metrics exposition
+/// (`metrics.prom`), and a run summary (`BENCH_telemetry.json`). Every
+/// byte is deterministic: independent of worker count, host-pool width
+/// and wall clock (pinned by `crates/bench/tests/telemetry_export.rs`).
+fn trace(opts: &Opts, seed: u64) {
+    let (log2_n, k, batch): (u32, usize, usize) = if opts.smoke {
+        (12, 8, 12)
+    } else {
+        (14, 16, 32)
+    };
+    eprintln!("[trace] n = 2^{log2_n}, k = {k}, batch = {batch}, offered load = 2.0x");
+
+    let art = bench::telemetry_artifacts(log2_n, k, batch, seed, 4);
+    println!(
+        "telemetry: {} spans over {} timeline ops, {} trace events on {} tracks, makespan {}",
+        art.spans,
+        art.report.timeline.ops.len(),
+        art.trace_events,
+        art.trace_tracks,
+        fmt_secs(art.report.makespan),
+    );
+
+    let _ = std::fs::create_dir_all(&opts.out);
+    for (name, body) in [
+        ("trace.json", &art.trace_json),
+        ("metrics.prom", &art.metrics_prom),
+        ("BENCH_telemetry.json", &art.summary_json),
+    ] {
+        let path = opts.out.join(name);
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
 }
 
 /// Extension: overload robustness of the serving layer — shed/deadline
@@ -215,8 +259,25 @@ fn overload(opts: &Opts, seed: u64) {
     ));
     json.push_str("  \"points\": [\n");
     for (i, p) in rows.iter().enumerate() {
+        // Deterministic per-(path, QoS) latency summary from the
+        // telemetry histograms (quantiles are bucket upper bounds).
+        let classes: Vec<String> = p
+            .path_latency
+            .iter()
+            .map(|pl| {
+                format!(
+                    "{{\"path\": \"{}\", \"qos\": \"{}\", \"count\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                    pl.path.label(),
+                    pl.qos.label(),
+                    pl.count,
+                    pl.p50 * 1e3,
+                    pl.p95 * 1e3,
+                    pl.p99 * 1e3,
+                )
+            })
+            .collect();
         json.push_str(&format!(
-            "    {{\"offered_load\": {:.2}, \"requests\": {}, \"shed_rate\": {:.4}, \"deadline_miss_rate\": {:.4}, \"degraded\": {}, \"hedges\": {}, \"hedge_wins\": {}, \"breaker_trips\": {}, \"breaker_short_circuits\": {}, \"sdc_detected\": {}, \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}, \"throughput\": {:.3}}}{}\n",
+            "    {{\"offered_load\": {:.2}, \"requests\": {}, \"shed_rate\": {:.4}, \"deadline_miss_rate\": {:.4}, \"degraded\": {}, \"hedges\": {}, \"hedge_wins\": {}, \"breaker_trips\": {}, \"breaker_short_circuits\": {}, \"sdc_detected\": {}, \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}, \"throughput\": {:.3}, \"path_latency\": [{}]}}{}\n",
             p.offered_load,
             p.requests,
             p.shed_rate,
@@ -230,6 +291,7 @@ fn overload(opts: &Opts, seed: u64) {
             p.latency_p50 * 1e3,
             p.latency_p99 * 1e3,
             p.throughput,
+            classes.join(", "),
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }

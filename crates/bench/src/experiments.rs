@@ -605,7 +605,7 @@ pub fn serve_sweep(
 /// One row of the overload experiment: a paced trace at `offered_load`×
 /// nominal capacity pushed through [`cusfft::ServeEngine::serve_overload`]
 /// under a deterministic fault plan.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct OverloadPoint {
     /// Offered load as a multiple of nominal capacity (1.0 = arrivals
     /// paced at exactly one nominal service time apart).
@@ -633,6 +633,9 @@ pub struct OverloadPoint {
     pub makespan: f64,
     /// Completed requests per simulated second.
     pub throughput: f64,
+    /// Deterministic latency summary per (served path, QoS tier), from
+    /// the telemetry histograms (quantiles are bucket upper bounds).
+    pub path_latency: Vec<cusfft::PathLatency>,
 }
 
 /// Builds a timed trace from the standard serving batch: arrivals are
@@ -730,6 +733,7 @@ pub fn overload_sweep(
                 latency_p99: report.latency.p99,
                 makespan: report.makespan,
                 throughput: report.throughput,
+                path_latency: report.path_latency.clone(),
             }
         })
         .collect()

@@ -15,6 +15,7 @@
 pub mod experiments;
 pub mod host;
 pub mod table;
+pub mod telemetry;
 pub mod viz;
 
 pub use experiments::{
@@ -26,4 +27,5 @@ pub use experiments::{
     ServePoint,
 };
 pub use table::{fmt_ratio, fmt_secs, Table};
+pub use telemetry::{telemetry_artifacts, TelemetryArtifacts};
 pub use viz::{render_chart, Series};

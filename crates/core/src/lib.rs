@@ -21,7 +21,10 @@
 //! * [`overload`] — overload robustness for the serving layer:
 //!   admission control with deadlines, brownout QoS, a per-device
 //!   circuit breaker, straggler hedging and result-integrity
-//!   verification ([`ServeEngine::serve_overload`]).
+//!   verification ([`ServeEngine::serve_overload`]);
+//! * [`observe`] — unified telemetry over a [`ServeReport`]: the
+//!   structured span tree, the metrics registry, and Chrome/Perfetto
+//!   trace export (built on the `cusfft-telemetry` crate).
 //!
 //! ## Quick start
 //!
@@ -51,6 +54,7 @@ pub mod cufft;
 pub mod cutoff;
 pub mod error;
 pub mod locate;
+pub mod observe;
 pub mod overload;
 pub mod perm_filter;
 pub mod pipeline;
@@ -68,6 +72,6 @@ pub use pipeline::{
 pub use plan_cache::{CacheStats, PlanCache, PlanKey, ServeQos};
 pub use report::StepBreakdown;
 pub use serve::{
-    FaultTally, RequestOutcome, ServeConfig, ServeEngine, ServePath, ServeReport, ServeRequest,
-    ServeResponse,
+    FaultTally, GroupInfo, PathLatency, RequestOutcome, ServeConfig, ServeEngine, ServePath,
+    ServeReport, ServeRequest, ServeResponse, ServeTimeline,
 };

@@ -1,0 +1,323 @@
+//! `cusfft::observe` — adapts a [`ServeReport`] into the
+//! `cusfft-telemetry` types: a span tree over the merged timeline, a
+//! metrics registry, and Chrome/Perfetto trace JSON.
+//!
+//! Everything here is a pure function of the report, which is itself a
+//! deterministic function of `(requests, config, policy)` — so the
+//! exported bytes inherit the serving layer's determinism contract and
+//! are pinned as golden snapshots in CI.
+
+use cusfft_telemetry::{
+    build_span_tree, chrome_trace, GroupMeta, Registry, RequestMeta, SpanTree,
+};
+
+use crate::serve::{RequestOutcome, ServeReport};
+use crate::Variant;
+
+/// Stable outcome label used as a telemetry dimension.
+pub fn outcome_label(o: &RequestOutcome) -> &'static str {
+    match o {
+        RequestOutcome::Done(_) => "done",
+        RequestOutcome::Failed { .. } => "failed",
+        RequestOutcome::Shed { .. } => "shed",
+        RequestOutcome::DeadlineExceeded { .. } => "deadline_exceeded",
+    }
+}
+
+/// Stable variant label used as a telemetry dimension.
+pub fn variant_label(v: Variant) -> &'static str {
+    match v {
+        Variant::Baseline => "baseline",
+        Variant::Optimized => "optimized",
+    }
+}
+
+/// Builds the hierarchical span tree for a serve call: root → control /
+/// per-group attempt sub-trees → per-op leaves, plus annotated request
+/// spans. Covers every op of the merged timeline exactly once (pinned by
+/// `tests/telemetry_spans.rs`).
+pub fn span_tree(report: &ServeReport) -> SpanTree {
+    let groups: Vec<GroupMeta> = report
+        .group_info
+        .iter()
+        .map(|g| {
+            let mut attrs = vec![
+                ("n".to_string(), g.key.n.to_string()),
+                ("k".to_string(), g.key.k.to_string()),
+                (
+                    "variant".to_string(),
+                    variant_label(g.key.variant).to_string(),
+                ),
+                ("qos".to_string(), g.key.qos.label().to_string()),
+            ];
+            if g.short_circuit {
+                attrs.push(("short_circuit".to_string(), "true".to_string()));
+            }
+            if g.hedged {
+                attrs.push(("hedged".to_string(), "true".to_string()));
+            }
+            GroupMeta {
+                gid: g.gid,
+                label: format!(
+                    "group {} (n={}, k={}, {}, {})",
+                    g.gid,
+                    g.key.n,
+                    g.key.k,
+                    variant_label(g.key.variant),
+                    g.key.qos.label()
+                ),
+                members: g.indices.clone(),
+                attrs,
+            }
+        })
+        .collect();
+
+    let mut gid_of_request: Vec<Option<usize>> = vec![None; report.outcomes.len()];
+    for g in &report.group_info {
+        for &idx in &g.indices {
+            gid_of_request[idx] = Some(g.gid);
+        }
+    }
+
+    let requests: Vec<RequestMeta> = report
+        .outcomes
+        .iter()
+        .enumerate()
+        .map(|(index, o)| RequestMeta {
+            index,
+            outcome: outcome_label(o).to_string(),
+            path: o.response().map(|r| r.path.label().to_string()),
+            qos: o.response().map(|r| r.qos.label().to_string()),
+            arrival: report.arrivals.get(index).copied(),
+            gid: gid_of_request[index],
+        })
+        .collect();
+
+    build_span_tree(
+        &report.timeline.ops,
+        &report.timeline.sched,
+        &groups,
+        &requests,
+    )
+}
+
+/// Builds the metrics registry for a serve call: request/served-path
+/// outcomes, plan-cache counters, fault tallies by class, breaker
+/// activity, overload admission counters, stream occupancy, and the
+/// per-(path, QoS) latency histograms.
+pub fn metrics_registry(report: &ServeReport) -> Registry {
+    let mut r = Registry::new();
+
+    // Request outcomes and served paths.
+    for o in &report.outcomes {
+        r.counter_add(
+            "cusfft_requests_total",
+            "Requests by terminal outcome",
+            &[("outcome", outcome_label(o))],
+            1,
+        );
+        if let Some(resp) = o.response() {
+            r.counter_add(
+                "cusfft_served_total",
+                "Completed requests by execution path and QoS tier",
+                &[("path", resp.path.label()), ("qos", resp.qos.label())],
+                1,
+            );
+        }
+    }
+
+    // Plan cache.
+    let cache_help = "Plan cache counters";
+    r.counter_add("cusfft_plan_cache_hits_total", cache_help, &[], report.cache.hits);
+    r.counter_add(
+        "cusfft_plan_cache_misses_total",
+        cache_help,
+        &[],
+        report.cache.misses,
+    );
+    r.counter_add(
+        "cusfft_plan_cache_evictions_total",
+        cache_help,
+        &[],
+        report.cache.evictions,
+    );
+    r.gauge_set(
+        "cusfft_plan_cache_entries",
+        "Plans resident in the cache",
+        &[],
+        report.cache.len as f64,
+    );
+
+    // Faults by class, counted off the timeline's injected-fault ops.
+    for op in &report.timeline.ops {
+        if let Some(rest) = op.label.strip_prefix("fault:") {
+            let class = rest.split(':').next().unwrap_or("unknown");
+            r.counter_add(
+                "cusfft_faults_injected_total",
+                "Injected faults by class, from the merged timeline",
+                &[("class", class)],
+                1,
+            );
+        }
+    }
+
+    // Recovery tallies.
+    let rec_help = "Fault-recovery actions";
+    let f = &report.faults;
+    r.counter_add("cusfft_recovery_total", rec_help, &[("kind", "retry")], f.retries);
+    r.counter_add(
+        "cusfft_recovery_total",
+        rec_help,
+        &[("kind", "eviction")],
+        f.evictions,
+    );
+    r.counter_add(
+        "cusfft_recovery_total",
+        rec_help,
+        &[("kind", "cpu_fallback")],
+        f.cpu_fallbacks,
+    );
+    r.counter_add(
+        "cusfft_recovery_total",
+        rec_help,
+        &[("kind", "worker_panic")],
+        f.worker_panics,
+    );
+    r.counter_add(
+        "cusfft_sdc_detected_total",
+        "Silent corruptions caught by the residual check",
+        &[],
+        f.sdc_detected,
+    );
+
+    // Breaker.
+    for tr in &report.breaker {
+        r.counter_add(
+            "cusfft_breaker_transitions_total",
+            "Circuit-breaker state transitions",
+            &[("from", tr.from.label()), ("to", tr.to.label())],
+            1,
+        );
+    }
+    let ov = &report.overload;
+    r.counter_add(
+        "cusfft_breaker_trips_total",
+        "Times the breaker tripped open",
+        &[],
+        ov.breaker_trips,
+    );
+    r.counter_add(
+        "cusfft_breaker_probes_total",
+        "HalfOpen probe groups admitted",
+        &[],
+        ov.breaker_probes,
+    );
+    r.counter_add(
+        "cusfft_breaker_short_circuits_total",
+        "Requests short-circuited past the device",
+        &[],
+        ov.breaker_short_circuits,
+    );
+
+    // Overload admission.
+    let adm_help = "Admission decisions";
+    r.counter_add("cusfft_admission_total", adm_help, &[("decision", "admitted")], ov.admitted);
+    r.counter_add("cusfft_admission_total", adm_help, &[("decision", "shed")], ov.shed);
+    r.counter_add(
+        "cusfft_admission_total",
+        adm_help,
+        &[("decision", "deadline_exceeded")],
+        ov.deadline_exceeded,
+    );
+    r.counter_add(
+        "cusfft_degraded_total",
+        "Requests served at brownout QoS",
+        &[],
+        ov.degraded,
+    );
+    r.counter_add("cusfft_hedges_total", "Straggler hedges launched", &[], ov.hedges);
+    r.counter_add(
+        "cusfft_hedge_wins_total",
+        "Hedged duplicates that beat their primary",
+        &[],
+        ov.hedge_wins,
+    );
+    r.gauge_set(
+        "cusfft_queue_depth_peak",
+        "Highest predicted queue depth at any arrival",
+        &[],
+        ov.peak_queue_depth as f64,
+    );
+
+    // Timeline shape.
+    r.gauge_set(
+        "cusfft_makespan_seconds",
+        "Simulated makespan of the merged timeline",
+        &[],
+        report.makespan,
+    );
+    r.gauge_set(
+        "cusfft_throughput_rps",
+        "Completed requests per simulated second",
+        &[],
+        report.throughput,
+    );
+    r.gauge_set(
+        "cusfft_groups",
+        "Plan-key groups the call split into",
+        &[],
+        report.groups as f64,
+    );
+    r.gauge_set(
+        "cusfft_streams",
+        "Streams in the merged timeline",
+        &[],
+        report.concurrency.per_stream.len() as f64,
+    );
+    r.gauge_set(
+        "cusfft_max_concurrent_streams",
+        "Maximum simultaneously occupied streams",
+        &[],
+        report.concurrency.max_concurrent_streams as f64,
+    );
+    r.gauge_set(
+        "cusfft_avg_concurrent_streams",
+        "Time-averaged occupied streams",
+        &[],
+        report.concurrency.avg_concurrent_streams,
+    );
+    for s in &report.concurrency.per_stream {
+        let id = s.stream.0.to_string();
+        r.gauge_set(
+            "cusfft_stream_busy_seconds",
+            "Per-stream busy time",
+            &[("stream", &id)],
+            s.busy,
+        );
+        r.gauge_set(
+            "cusfft_stream_utilisation",
+            "Per-stream busy fraction of the makespan",
+            &[("stream", &id)],
+            s.utilisation,
+        );
+    }
+
+    // Latency histograms per (path, QoS).
+    for pl in &report.path_latency {
+        r.observe_hist(
+            "cusfft_request_latency_seconds",
+            "Simulated request latency by path and QoS tier",
+            &[("path", pl.path.label()), ("qos", pl.qos.label())],
+            &pl.hist,
+        );
+    }
+
+    r
+}
+
+/// Renders the Chrome/Perfetto Trace Event JSON for a serve call (see
+/// [`cusfft_telemetry::chrome`] for the track layout).
+pub fn chrome_trace_json(report: &ServeReport) -> String {
+    let tree = span_tree(report);
+    chrome_trace(&report.timeline.ops, &report.timeline.sched, &tree)
+}

@@ -65,8 +65,8 @@ use crate::error::CusFftError;
 use crate::pipeline::ExecStreams;
 use crate::plan_cache::{PlanKey, ServeQos};
 use crate::serve::{
-    run_group, validate_request, FaultTally, Group, RequestOutcome, ServeConfig, ServeEngine,
-    ServePath, ServeReport, ServeRequest, ServeResponse,
+    run_group, validate_request, FaultTally, Group, GroupInfo, PathLatency, RequestOutcome,
+    ServeConfig, ServeEngine, ServePath, ServeReport, ServeRequest, ServeResponse, ServeTimeline,
 };
 
 /// One request in an open-loop arrival trace.
@@ -158,6 +158,9 @@ pub struct OverloadTally {
     pub hedges: u64,
     /// Hedged duplicates that beat their primary.
     pub hedge_wins: u64,
+    /// Highest predicted queue depth the admission controller saw at
+    /// any arrival (validated requests only, including ones then shed).
+    pub peak_queue_depth: u64,
 }
 
 /// Simulated request-latency distribution over completed requests.
@@ -465,6 +468,7 @@ impl ServeEngine {
                 continue;
             }
             let depth = admitted.iter().filter(|a| a.finish > t.arrival).count();
+            overload.peak_queue_depth = overload.peak_queue_depth.max(depth as u64);
             if depth >= policy.queue_capacity {
                 overload.shed += 1;
                 control.charge_host_op("shed:queue", 0.0, DEFAULT_STREAM);
@@ -508,6 +512,7 @@ impl ServeEngine {
         // is its latest member's (it cannot start before all members
         // exist).
         let mut groups: Vec<Group> = Vec::new();
+        let mut group_keys: Vec<PlanKey> = Vec::new();
         let mut group_arrival: Vec<f64> = Vec::new();
         let mut key_to_group: HashMap<PlanKey, usize> = HashMap::new();
         for a in &admitted {
@@ -522,6 +527,7 @@ impl ServeEngine {
                         indices: Vec::new(),
                         qos: a.key.qos,
                     });
+                    group_keys.push(a.key);
                     group_arrival.push(0.0);
                     g
                 }
@@ -572,6 +578,7 @@ impl ServeEngine {
         // (a tie goes to the primary), so the race is itself
         // deterministic. Both runs stay on the timeline.
         let mut hedge_losers: Vec<GroupRun> = Vec::new();
+        let mut hedged_gids: Vec<usize> = Vec::new();
         let mut durations: Vec<f64> = runs
             .iter()
             .flatten()
@@ -590,6 +597,7 @@ impl ServeEngine {
             for hedge in execute_wave(&self.spec, &cfg, &stragglers, &requests, cfg.workers, true) {
                 overload.hedges += 1;
                 let gid = hedge.gid;
+                hedged_gids.push(gid);
                 let primary = runs[gid].take().expect("straggler has a primary run");
                 let (mut winner, loser) = if hedge.duration < primary.duration {
                     overload.hedge_wins += 1;
@@ -619,18 +627,22 @@ impl ServeEngine {
         // ---- Phase 5: latency over a virtual device serving groups in
         // gid order (short-circuited groups complete instantly).
         let mut latencies: Vec<f64> = Vec::new();
+        let mut class_samples: Vec<(ServePath, ServeQos, f64)> = Vec::new();
         let mut clock = 0.0f64;
         for gid in 0..groups.len() {
             let run = runs[gid].as_ref().expect("every group resolves to a run");
             let completion = clock.max(group_arrival[gid]) + run.duration;
             clock = completion;
             for (idx, outcome) in &run.results {
-                if outcome.response().is_some() {
-                    latencies.push(completion - trace[*idx].arrival);
+                if let Some(resp) = outcome.response() {
+                    let lat = completion - trace[*idx].arrival;
+                    latencies.push(lat);
+                    class_samples.push((resp.path, resp.qos, lat));
                 }
             }
         }
         let latency = LatencyStats::from_latencies(latencies);
+        let path_latency = path_latency_summary(&class_samples);
 
         // ---- Collect. -------------------------------------------------
         let mut faults = FaultTally::default();
@@ -638,6 +650,19 @@ impl ServeEngine {
             faults.absorb(&run.tally);
         }
         let num_groups = groups.len();
+        let group_info: Vec<GroupInfo> = groups
+            .iter()
+            .map(|g| GroupInfo {
+                gid: g.gid,
+                indices: g.indices.clone(),
+                key: group_keys[g.gid],
+                short_circuit: runs[g.gid]
+                    .as_ref()
+                    .map(|r| r.short_circuit)
+                    .unwrap_or(false),
+                hedged: hedged_gids.contains(&g.gid),
+            })
+            .collect();
         for run in runs.into_iter().flatten() {
             for (idx, outcome) in run.results {
                 outcomes[idx] = Some(outcome);
@@ -668,8 +693,47 @@ impl ServeEngine {
             overload,
             latency,
             breaker: breaker.transitions().to_vec(),
+            timeline: ServeTimeline { ops: merged, sched },
+            group_info,
+            path_latency,
+            arrivals: trace.iter().map(|t| t.arrival).collect(),
         }
     }
+}
+
+/// Folds per-request `(path, qos, latency)` samples into deterministic
+/// per-class summaries, scanning classes in a fixed order and keeping
+/// only the non-empty ones.
+fn path_latency_summary(samples: &[(ServePath, ServeQos, f64)]) -> Vec<PathLatency> {
+    const CLASSES: [(ServePath, ServeQos); 6] = [
+        (ServePath::Gpu, ServeQos::Full),
+        (ServePath::Gpu, ServeQos::Degraded),
+        (ServePath::GpuRetry, ServeQos::Full),
+        (ServePath::GpuRetry, ServeQos::Degraded),
+        (ServePath::Cpu, ServeQos::Full),
+        (ServePath::Cpu, ServeQos::Degraded),
+    ];
+    let mut out = Vec::new();
+    for (path, qos) in CLASSES {
+        let mut hist = cusfft_telemetry::Histogram::default();
+        for (p, q, lat) in samples {
+            if *p == path && *q == qos {
+                hist.observe(*lat);
+            }
+        }
+        if hist.count > 0 {
+            out.push(PathLatency {
+                path,
+                qos,
+                count: hist.count,
+                p50: hist.quantile(0.5),
+                p95: hist.quantile(0.95),
+                p99: hist.quantile(0.99),
+                hist,
+            });
+        }
+    }
+    out
 }
 
 #[cfg(test)]

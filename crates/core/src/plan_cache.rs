@@ -40,6 +40,16 @@ pub enum ServeQos {
     Degraded,
 }
 
+impl ServeQos {
+    /// Stable label used as a telemetry dimension.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeQos::Full => "full",
+            ServeQos::Degraded => "degraded",
+        }
+    }
+}
+
 /// Identity of a plan: the signal geometry, implementation tier and QoS
 /// tier. Two requests with equal keys are served by the same [`CusFft`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -19,6 +19,11 @@ pub struct StepBreakdown {
     pub locate: f64,
     /// Magnitude reconstruction.
     pub estimate: f64,
+    /// Fault-recovery machinery: injected fault stalls, breaker and
+    /// admission markers, retry backoffs, hedge duplicates' bookkeeping,
+    /// CPU fallbacks. Kept out of `other` so Figure-2-style profiles
+    /// stay honest under fault injection.
+    pub recovery: f64,
     /// Anything unclassified.
     pub other: f64,
 }
@@ -49,6 +54,14 @@ impl StepBreakdown {
                 s.locate += t;
             } else if n.starts_with("reconstruct") {
                 s.estimate += t;
+            } else if n.starts_with("fault:")
+                || n.starts_with("breaker:")
+                || n.starts_with("shed:")
+                || n.starts_with("retry_backoff")
+                || n.starts_with("cpu_fallback")
+                || n.starts_with("hedge")
+            {
+                s.recovery += t;
             } else {
                 s.other += t;
             }
@@ -64,11 +77,12 @@ impl StepBreakdown {
             + self.cutoff
             + self.locate
             + self.estimate
+            + self.recovery
             + self.other
     }
 
     /// `(label, seconds)` pairs in pipeline order.
-    pub fn as_pairs(&self) -> [(&'static str, f64); 7] {
+    pub fn as_pairs(&self) -> [(&'static str, f64); 8] {
         [
             ("transfer", self.transfer),
             ("perm+filter", self.perm_filter),
@@ -76,6 +90,7 @@ impl StepBreakdown {
             ("cutoff", self.cutoff),
             ("locate", self.locate),
             ("estimate", self.estimate),
+            ("recovery", self.recovery),
             ("other", self.other),
         ]
     }
@@ -121,9 +136,31 @@ mod tests {
         assert!((s.cutoff - 0.5).abs() < 1e-12);
         assert_eq!(s.locate, 0.7);
         assert_eq!(s.estimate, 0.9);
+        assert_eq!(s.recovery, 0.0);
         assert_eq!(s.other, 0.05);
         assert!((s.total() - 9.15).abs() < 1e-12);
         assert_eq!(s.as_pairs()[1].0, "perm+filter");
+    }
+
+    #[test]
+    fn recovery_ops_get_their_own_bucket() {
+        let records = vec![
+            rec("fault:launch:exec", 0.2),
+            rec("fault:ecc:dtoh", 0.1),
+            rec("breaker:short_circuit", 0.0),
+            rec("shed:queue", 0.0),
+            rec("retry_backoff", 0.4),
+            rec("cpu_fallback", 0.3),
+            rec("exec", 1.0),
+            rec("mystery", 0.05),
+        ];
+        let s = StepBreakdown::from_records(&records);
+        assert!((s.recovery - 1.0).abs() < 1e-12);
+        assert_eq!(s.perm_filter, 1.0);
+        assert_eq!(s.other, 0.05);
+        let pairs = s.as_pairs();
+        assert_eq!(pairs[6].0, "recovery");
+        assert!((pairs[6].1 - 1.0).abs() < 1e-12);
     }
 
     #[test]

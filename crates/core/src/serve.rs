@@ -56,6 +56,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
+use cusfft_telemetry::{tag_batch, tag_fallback, tag_retry};
 use fft::cplx::Cplx;
 use gpu_sim::{
     concurrency_profile, merge_op_groups, schedule, ConcurrencyProfile, DeviceSpec, FaultConfig,
@@ -141,6 +142,17 @@ pub enum ServePath {
     GpuRetry,
     /// Degraded to the `sfft-cpu` reference implementation.
     Cpu,
+}
+
+impl ServePath {
+    /// Stable label used as a telemetry dimension.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServePath::Gpu => "gpu",
+            ServePath::GpuRetry => "gpu_retry",
+            ServePath::Cpu => "cpu",
+        }
+    }
 }
 
 /// Result for one request, in the order the requests were submitted.
@@ -264,6 +276,67 @@ impl FaultTally {
     }
 }
 
+/// The merged simulated timeline a serve call executed, kept on the
+/// report so telemetry exporters can rebuild spans and traces without
+/// re-running anything.
+#[derive(Debug, Clone)]
+pub struct ServeTimeline {
+    /// Merged ops in deterministic merge order (see
+    /// [`gpu_sim::merge_op_groups`]), attribution tags intact.
+    pub ops: Vec<gpu_sim::Op>,
+    /// The schedule computed over `ops`.
+    pub sched: gpu_sim::Schedule,
+}
+
+impl Default for ServeTimeline {
+    fn default() -> Self {
+        ServeTimeline {
+            ops: Vec::new(),
+            sched: gpu_sim::Schedule {
+                ops: Vec::new(),
+                makespan: 0.0,
+            },
+        }
+    }
+}
+
+/// Identity and disposition of one plan-key group, for telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupInfo {
+    /// Global group index (the fault-scope base).
+    pub gid: usize,
+    /// Request indices served by this group, in submission order.
+    pub indices: Vec<usize>,
+    /// The plan key the group was served under (carries n, k, variant
+    /// and the possibly-degraded QoS tier).
+    pub key: PlanKey,
+    /// Whether the breaker short-circuited the group (overload path).
+    pub short_circuit: bool,
+    /// Whether a speculative hedge duplicate ran (overload path).
+    pub hedged: bool,
+}
+
+/// Deterministic simulated-latency summary for one (path, QoS) class,
+/// computed from the telemetry histogram (overload path only — the plain
+/// batch path has no arrival times).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathLatency {
+    /// Execution path.
+    pub path: ServePath,
+    /// Accuracy tier.
+    pub qos: ServeQos,
+    /// Completed requests in this class.
+    pub count: u64,
+    /// Median latency (histogram nearest-rank, bucket upper bound).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// The underlying fixed-bucket histogram.
+    pub hist: cusfft_telemetry::Histogram,
+}
+
 /// Outcome of one [`ServeEngine::serve_batch`] call.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -290,6 +363,16 @@ pub struct ServeReport {
     /// Circuit-breaker transitions, in decision order (empty for
     /// [`ServeEngine::serve_batch`]).
     pub breaker: Vec<gpu_sim::BreakerTransition>,
+    /// The merged timeline this call executed, for telemetry export.
+    pub timeline: ServeTimeline,
+    /// Per-group identity/disposition, aligned with the span model.
+    pub group_info: Vec<GroupInfo>,
+    /// Per-(path, QoS) latency summaries (overload path only; empty for
+    /// [`ServeEngine::serve_batch`]).
+    pub path_latency: Vec<PathLatency>,
+    /// Request arrival times in submission order (overload path only;
+    /// empty for [`ServeEngine::serve_batch`]).
+    pub arrivals: Vec<f64>,
 }
 
 impl ServeReport {
@@ -460,6 +543,20 @@ impl ServeEngine {
             0.0
         };
 
+        let group_info = groups
+            .iter()
+            .map(|g| GroupInfo {
+                gid: g.gid,
+                indices: g.indices.clone(),
+                key: PlanKey {
+                    qos: g.qos,
+                    ..requests[g.indices[0]].plan_key()
+                },
+                short_circuit: false,
+                hedged: false,
+            })
+            .collect();
+
         ServeReport {
             outcomes,
             makespan,
@@ -471,6 +568,10 @@ impl ServeEngine {
             overload: OverloadTally::default(),
             latency: LatencyStats::default(),
             breaker: Vec::new(),
+            timeline: ServeTimeline { ops: merged, sched },
+            group_info,
+            path_latency: Vec::new(),
+            arrivals: Vec::new(),
         }
     }
 
@@ -613,6 +714,7 @@ pub(crate) fn run_group(
     // Batch attempt. Every fault decision inside it rolls in the group's
     // own scope, so the sequence is invariant under worker placement.
     device.set_fault_scope(scope_group(g, hedged));
+    device.set_op_tag(tag_batch(g, hedged));
     let mut preps: Vec<Option<PreparedRequest>> = Vec::with_capacity(nreq);
     for (j, &idx) in group.indices.iter().enumerate() {
         let req = &requests[idx];
@@ -691,6 +793,7 @@ pub(crate) fn run_group(
             // Deterministic exponential backoff, visible on the timeline
             // but contending for no device resource.
             let backoff = RETRY_BACKOFF_BASE * (1u64 << (attempt - 1)) as f64;
+            device.set_op_tag(tag_retry(g, j, attempt, hedged));
             device.charge_host_op("retry_backoff", backoff, streams.main);
             device.set_fault_scope(scope_retry(g, j, attempt, hedged));
             let r = run_caught(tally, "retry", || {
@@ -722,6 +825,7 @@ pub(crate) fn run_group(
                 tally.cpu_fallbacks += 1;
                 // Zero-duration marker: the degradation is visible on the
                 // timeline without inventing a device cost for CPU work.
+                device.set_op_tag(tag_fallback(g, j, hedged));
                 device.charge_host_op("cpu_fallback", 0.0, streams.main);
                 let recovered = sfft_cpu::sfft(plan.params(), &req.time, req.seed);
                 RequestOutcome::Done(ServeResponse {

@@ -103,6 +103,9 @@ struct DeviceState {
     /// Installed fault plan, if any. Lives under the state lock so fault
     /// ordinals are consumed in op-enqueue order.
     fault: Option<FaultState>,
+    /// Current attribution tag stamped onto every enqueued op (see
+    /// [`Op::tag`]). 0 = untagged.
+    op_tag: u64,
 }
 
 /// A simulated CUDA device.
@@ -127,6 +130,7 @@ impl GpuDevice {
                 events: Vec::new(),
                 pending_waits: Vec::new(),
                 fault: None,
+                op_tag: 0,
             }),
         }
     }
@@ -165,6 +169,13 @@ impl GpuDevice {
     /// Number of faults injected since the plan was installed.
     pub fn faults_injected(&self) -> u64 {
         self.state.lock().fault.as_ref().map_or(0, |f| f.injected())
+    }
+
+    /// Sets the attribution tag stamped onto every subsequently enqueued
+    /// op (see [`Op::tag`]). The simulator never interprets the value;
+    /// telemetry layers use it to attach ops to spans. Pass 0 to clear.
+    pub fn set_op_tag(&self, tag: u64) {
+        self.state.lock().op_tag = tag;
     }
 
     /// Whether result-integrity checks should run against this device:
@@ -262,6 +273,7 @@ impl GpuDevice {
         let label = format!("fault:{}:{what}", class.label());
         let mut op = Op::new(id, stream, engine, duration, label.clone());
         op.wait_for = Self::take_waits(st, stream);
+        op.tag = st.op_tag;
         st.ops.push(op);
         st.records.push(LaunchRecord {
             name: label,
@@ -450,6 +462,7 @@ impl GpuDevice {
         let id = st.ops.len();
         let mut op = Op::new(id, stream, Engine::Pcie, dur, label.to_string());
         op.wait_for = Self::take_waits(&mut st, stream);
+        op.tag = st.op_tag;
         st.ops.push(op);
         st.records.push(LaunchRecord {
             name: format!("{label} ({bytes} B)"),
@@ -510,6 +523,7 @@ impl GpuDevice {
         let id = st.ops.len();
         let mut op = Op::new(id, stream, Engine::Device, duration, label.to_string());
         op.wait_for = Self::take_waits(&mut st, stream);
+        op.tag = st.op_tag;
         st.ops.push(op);
         st.records.push(LaunchRecord {
             name: label.to_string(),
@@ -541,6 +555,7 @@ impl GpuDevice {
         let id = st.ops.len();
         let mut op = Op::new(id, stream, Engine::Host, duration, label.to_string());
         op.wait_for = Self::take_waits(&mut st, stream);
+        op.tag = st.op_tag;
         st.ops.push(op);
         st.records.push(LaunchRecord {
             name: label.to_string(),
@@ -804,6 +819,7 @@ impl GpuDevice {
         let id = st.ops.len();
         let mut op = Op::new(id, stream, Engine::Device, cost.total, name.to_string());
         op.wait_for = Self::take_waits(&mut st, stream);
+        op.tag = st.op_tag;
         st.ops.push(op);
         let bound = bound_by(&cost);
         st.records.push(LaunchRecord {

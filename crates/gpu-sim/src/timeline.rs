@@ -58,6 +58,10 @@ pub struct Op {
     /// Cross-stream dependencies (CUDA events): op ids that must complete
     /// before this op may start.
     pub wait_for: Vec<usize>,
+    /// Opaque attribution tag stamped by the enqueuing layer (0 = untagged).
+    /// The simulator never interprets it; telemetry consumers decode it to
+    /// attach ops to spans. Survives [`merge_op_groups`] untouched.
+    pub tag: u64,
 }
 
 impl Op {
@@ -70,6 +74,7 @@ impl Op {
             duration,
             label,
             wait_for: Vec::new(),
+            tag: 0,
         }
     }
 }

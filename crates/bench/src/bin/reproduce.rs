@@ -14,9 +14,11 @@
 //!   fig5c     speedup over cuFFT             fig5d  speedup over FFTW
 //!   fig5e     speedup over PsFFT             fig5f  L1 error vs k
 //!   ablation  Section V design-choice ablations
+//!   backends  cross-backend comparison: every registered execution
+//!             backend vs the dense oracle (explicit-only)
 //!   hostperf  host execution engine: wall time vs pool width
 //!             (explicit-only — sweeps to n = 2^24; `--smoke` shrinks it)
-//!   all       everything above except hostperf (default)
+//!   all       everything above except the explicit-only targets (default)
 //! ```
 //!
 //! The default ("quick") profile scales the paper's sweep down to sizes a
@@ -57,7 +59,7 @@ fn parse_args() -> Opts {
             }
             "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
             "--help" | "-h" => {
-                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve hostperf overload trace all");
+                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve backends hostperf overload trace all");
                 println!("flags:   --full (paper-scale sweep)  --smoke (tiny CI sizes)  --k K  --out DIR");
                 std::process::exit(0);
             }
@@ -162,6 +164,74 @@ fn main() {
     // the other extensions it runs only when asked for explicitly.
     if opts.target == "trace" {
         trace(&opts, seed);
+    }
+    // backends serves one batch per registered execution backend and
+    // scores each against the dense oracle; explicit-only like the
+    // other extensions (--smoke for the small CI profile).
+    if opts.target == "backends" {
+        backends(&opts, seed);
+    }
+}
+
+/// Extension: pluggable execution backends — the same batch served
+/// through every backend in the default registry, with per-backend
+/// capability flags, admission-pricer estimates, merged-timeline
+/// makespan and accuracy against the dense-FFT oracle. Emits
+/// `BENCH_backends.json`.
+fn backends(opts: &Opts, seed: u64) {
+    let (log2_n, k, batch): (u32, usize, usize) = if opts.smoke {
+        (11, 8, 9)
+    } else {
+        (14, 16, 24)
+    };
+    eprintln!("[backends] n = 2^{log2_n}, k = {k}, batch = {batch}");
+
+    let rows = bench::backend_sweep(log2_n, k, batch, seed);
+    let mut t = Table::new(
+        &format!("Backends: batch of {batch} requests, n≈2^{log2_n}, k={k} (simulated)"),
+        &["backend", "device", "batched", "groups", "makespan", "est svc", "L1 vs oracle", "recall"],
+    );
+    for p in &rows {
+        t.row(vec![
+            p.backend.label().to_string(),
+            if p.caps.uses_device { "yes" } else { "no" }.to_string(),
+            if p.caps.batched_ffts { "yes" } else { "no" }.to_string(),
+            p.groups.to_string(),
+            fmt_secs(p.makespan),
+            fmt_secs(p.est_service),
+            format!("{:.2e}", p.l1_vs_oracle),
+            format!("{:.3}", p.oracle_recall),
+        ]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "backends");
+
+    // Hand-rolled JSON (no serde_json in the vendored set).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"uses_device\": {}, \"batched_ffts\": {}, \"oracle_bound\": {:.1e}, \"requests\": {}, \"groups\": {}, \"makespan_ms\": {:.3}, \"est_service_ms\": {:.3}, \"l1_vs_oracle\": {:.6e}, \"oracle_recall\": {:.4}}}{}\n",
+            p.backend.label(),
+            p.caps.uses_device,
+            p.caps.batched_ffts,
+            p.caps.oracle_bound,
+            p.requests,
+            p.groups,
+            p.makespan * 1e3,
+            p.est_service * 1e3,
+            p.l1_vs_oracle,
+            p.oracle_recall,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let _ = std::fs::create_dir_all(&opts.out);
+    let path = opts.out.join("BENCH_backends.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }
 

@@ -555,12 +555,12 @@ pub fn serve_requests(log2_n: u32, k: usize, batch: usize, seed: u64) -> Vec<cus
         .map(|i| {
             let (n, k) = geometries[i % geometries.len()];
             let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, seed ^ (i as u64) << 8);
-            cusfft::ServeRequest {
-                time: s.time,
+            cusfft::ServeRequest::new(
+                s.time,
                 k,
-                variant: Variant::Optimized,
-                seed: seed.wrapping_mul(31).wrapping_add(i as u64),
-            }
+                Variant::Optimized,
+                seed.wrapping_mul(31).wrapping_add(i as u64),
+            )
         })
         .collect()
 }
@@ -754,12 +754,12 @@ pub fn breaker_vs_retry(log2_n: u32, k: usize, batch: usize, seed: u64) -> (f64,
         .map(|i| {
             let ki = (k / 2).max(2) + i;
             let s = SparseSignal::generate(n, ki, MagnitudeModel::Unit, seed ^ ((i as u64) << 8));
-            cusfft::ServeRequest {
-                time: s.time,
-                k: ki,
-                variant: Variant::Optimized,
-                seed: seed.wrapping_mul(31).wrapping_add(i as u64),
-            }
+            cusfft::ServeRequest::new(
+                s.time,
+                ki,
+                Variant::Optimized,
+                seed.wrapping_mul(31).wrapping_add(i as u64),
+            )
         })
         .collect();
     let trace: Vec<cusfft::TimedRequest> = requests
@@ -792,6 +792,86 @@ pub fn breaker_vs_retry(log2_n: u32, k: usize, batch: usize, seed: u64) -> (f64,
     let retry = cusfft::ServeEngine::new(DeviceSpec::tesla_k20x(), cfg);
     let legacy = retry.serve_batch(&requests);
     (over.throughput, legacy.throughput)
+}
+
+/// One row of the backend comparison: the standard serving batch routed
+/// wholesale through a single registered backend (DESIGN.md §12).
+#[derive(Debug, Clone)]
+pub struct BackendPoint {
+    pub backend: cusfft::BackendKind,
+    /// Capability report straight from the registry.
+    pub caps: cusfft::BackendCaps,
+    pub requests: usize,
+    pub groups: usize,
+    /// Simulated makespan of the merged timeline (host-only backends
+    /// still charge zero-cost host ops, so this is ~0 for them).
+    pub makespan: f64,
+    /// Admission-pricer estimate for one request of the lead geometry.
+    pub est_service: f64,
+    /// Mean per-coefficient ℓ1 distance from the dense-oracle spectra
+    /// for the identical batch.
+    pub l1_vs_oracle: f64,
+    /// Mean recall of the oracle's support.
+    pub oracle_recall: f64,
+}
+
+/// Serves the same batch once per registered backend and scores every
+/// backend against the dense oracle's spectra. The registry is the only
+/// source of backends — the sweep exercises exactly the serving-layer
+/// selection path that `tests/backend_differential.rs` pins.
+pub fn backend_sweep(log2_n: u32, k: usize, batch: usize, seed: u64) -> Vec<BackendPoint> {
+    use cusfft::{BackendKind, BackendRegistry, ServeConfig, ServeEngine, ServeReport};
+
+    let base = serve_requests(log2_n, k, batch, seed);
+    let registry = BackendRegistry::with_defaults();
+    let spec = DeviceSpec::tesla_k20x();
+    let serve = |kind: BackendKind| -> ServeReport {
+        let reqs: Vec<_> = base.iter().cloned().map(|r| r.with_backend(kind)).collect();
+        ServeEngine::new(
+            spec.clone(),
+            ServeConfig {
+                workers: 2,
+                cache_capacity: 8,
+                ..ServeConfig::default()
+            },
+        )
+        .serve_batch(&reqs)
+    };
+
+    let oracle = serve(BackendKind::DenseFft);
+    let oracle_spectra: Vec<_> = oracle.responses().map(|r| r.recovered.clone()).collect();
+    let model_dev = cusfft::backend::worker_device(&spec, None);
+    let params = SfftParams::tuned(1 << log2_n, k);
+
+    registry
+        .kinds()
+        .into_iter()
+        .map(|kind| {
+            let backend = registry.get(kind).expect("default registry is total");
+            let report = if kind == BackendKind::DenseFft {
+                oracle.clone()
+            } else {
+                serve(kind)
+            };
+            let mut l1 = 0.0;
+            let mut recall = 0.0;
+            for (resp, truth) in report.responses().zip(&oracle_spectra) {
+                l1 += l1_error_per_coeff(truth, &resp.recovered);
+                recall += support_recall(truth, &resp.recovered);
+            }
+            let count = oracle_spectra.len().max(1) as f64;
+            BackendPoint {
+                backend: kind,
+                caps: backend.capabilities(),
+                requests: base.len(),
+                groups: report.groups,
+                makespan: report.makespan,
+                est_service: backend.estimate_cost(&model_dev, &spec, &params),
+                l1_vs_oracle: l1 / count,
+                oracle_recall: recall / count,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -882,6 +962,29 @@ mod tests {
         let k20x = rows.iter().find(|(n, _)| n.contains("K20x")).unwrap().1;
         let k40 = rows.iter().find(|(n, _)| n.contains("K40")).unwrap().1;
         assert!(k40 < k20x);
+    }
+
+    #[test]
+    fn backend_sweep_scores_all_backends_against_the_oracle() {
+        let rows = backend_sweep(10, 4, 6, 11);
+        assert_eq!(rows.len(), 3, "one row per registered backend");
+        for p in &rows {
+            assert_eq!(p.caps.kind, p.backend);
+            assert_eq!(p.requests, 6);
+            assert!(p.est_service > 0.0, "{}: pricer yields real time", p.backend.label());
+            assert!(
+                p.l1_vs_oracle <= p.caps.oracle_bound,
+                "{}: ℓ1 {} within documented bound {}",
+                p.backend.label(),
+                p.l1_vs_oracle,
+                p.caps.oracle_bound
+            );
+            assert!(p.oracle_recall > 0.99, "{}: clean batch fully recovered", p.backend.label());
+        }
+        let dense = rows.iter().find(|p| p.backend == cusfft::BackendKind::DenseFft).unwrap();
+        assert_eq!(dense.l1_vs_oracle, 0.0, "the oracle matches itself exactly");
+        let gpu = rows.iter().find(|p| p.backend == cusfft::BackendKind::GpuSim).unwrap();
+        assert!(gpu.makespan > 0.0, "device backend occupies simulated time");
     }
 
     #[test]

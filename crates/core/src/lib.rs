@@ -24,7 +24,11 @@
 //!   verification ([`ServeEngine::serve_overload`]);
 //! * [`observe`] — unified telemetry over a [`ServeReport`]: the
 //!   structured span tree, the metrics registry, and Chrome/Perfetto
-//!   trace export (built on the `cusfft-telemetry` crate).
+//!   trace export (built on the `cusfft-telemetry` crate);
+//! * [`backend`] — pluggable execution backends behind a wasi-nn-style
+//!   registry ([`BackendRegistry`]): the simulated-GPU pipeline, the
+//!   CPU reference sFFT, and a dense-FFT oracle, all served through
+//!   one [`Backend`]/[`ExecutePlan`] contract.
 //!
 //! ## Quick start
 //!
@@ -49,6 +53,7 @@
 //! println!("simulated device time: {:.3} ms", out.sim_time * 1e3);
 //! ```
 
+pub mod backend;
 pub mod comb;
 pub mod cufft;
 pub mod cutoff;
@@ -63,6 +68,10 @@ pub mod reconstruct;
 pub mod report;
 pub mod serve;
 
+pub use backend::{
+    execute_direct, Backend, BackendCaps, BackendKind, BackendRegistry, DenseFftBackend,
+    ExecutePlan, GpuSimBackend, SfftCpuBackend,
+};
 pub use cufft::{batched_fft_device, batched_fft_rows, cufft_dense_baseline, cufft_model_time};
 pub use error::CusFftError;
 pub use overload::{nominal_service, LatencyStats, OverloadConfig, OverloadTally, TimedRequest};

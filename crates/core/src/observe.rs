@@ -49,6 +49,7 @@ pub fn span_tree(report: &ServeReport) -> SpanTree {
                     variant_label(g.key.variant).to_string(),
                 ),
                 ("qos".to_string(), g.key.qos.label().to_string()),
+                ("backend".to_string(), g.key.backend.label().to_string()),
             ];
             if g.short_circuit {
                 attrs.push(("short_circuit".to_string(), "true".to_string()));
@@ -59,12 +60,13 @@ pub fn span_tree(report: &ServeReport) -> SpanTree {
             GroupMeta {
                 gid: g.gid,
                 label: format!(
-                    "group {} (n={}, k={}, {}, {})",
+                    "group {} (n={}, k={}, {}, {}, {})",
                     g.gid,
                     g.key.n,
                     g.key.k,
                     variant_label(g.key.variant),
-                    g.key.qos.label()
+                    g.key.qos.label(),
+                    g.key.backend.label()
                 ),
                 members: g.indices.clone(),
                 attrs,
@@ -119,8 +121,12 @@ pub fn metrics_registry(report: &ServeReport) -> Registry {
         if let Some(resp) = o.response() {
             r.counter_add(
                 "cusfft_served_total",
-                "Completed requests by execution path and QoS tier",
-                &[("path", resp.path.label()), ("qos", resp.qos.label())],
+                "Completed requests by execution path, QoS tier and backend",
+                &[
+                    ("path", resp.path.label()),
+                    ("qos", resp.qos.label()),
+                    ("backend", resp.backend.label()),
+                ],
                 1,
             );
         }

@@ -10,9 +10,9 @@
 //!    [`OverloadConfig::queue_capacity`] is shed (newest-rejected,
 //!    [`RequestOutcome::Shed`]) before it costs any device time.
 //! 2. **Deadlines** — each admitted request's completion is predicted
-//!    against a deterministic service-time model
-//!    ([`cufft_model_time`]-based); a request that cannot meet its
-//!    deadline even now is rejected as
+//!    against the deterministic service-time model of its backend
+//!    ([`crate::backend::Backend::estimate_cost`]); a request that
+//!    cannot meet its deadline even now is rejected as
 //!    [`RequestOutcome::DeadlineExceeded`] rather than served late.
 //! 3. **Graceful brownout** — under queue pressure
 //!    ([`OverloadConfig::brownout_depth`]) requests are re-planned onto
@@ -55,12 +55,12 @@
 use std::collections::HashMap;
 
 use gpu_sim::{
-    concurrency_profile, merge_op_groups, schedule, transfer_time, BreakerConfig, BreakerDecision,
-    CircuitBreaker, DeviceSpec, GpuDevice, Op, DEFAULT_STREAM,
+    concurrency_profile, merge_op_groups, schedule, BreakerConfig, BreakerDecision, CircuitBreaker,
+    DeviceSpec, Op, DEFAULT_STREAM,
 };
 use sfft_cpu::SfftParams;
 
-use crate::cufft::cufft_model_time;
+use crate::backend::{worker_device, Backend, BackendKind, GpuSimBackend, SfftCpuBackend};
 use crate::error::CusFftError;
 use crate::pipeline::ExecStreams;
 use crate::plan_cache::{PlanKey, ServeQos};
@@ -231,10 +231,7 @@ fn run_group_on_fresh_device(
     requests: &[ServeRequest],
     hedged: bool,
 ) -> GroupRun {
-    let device = GpuDevice::new(spec.clone());
-    if let Some(fc) = cfg.faults {
-        device.install_fault_plan(fc);
-    }
+    let device = worker_device(spec, cfg.faults.as_ref());
     let streams = ExecStreams::on_device_private(&device, group.plan.num_streams());
     let mut tally = FaultTally::default();
     let results = run_group(&device, group, requests, &streams, cfg, &mut tally, hedged);
@@ -318,12 +315,13 @@ fn recover_group_loss(
             let req = &requests[idx];
             let outcome = if cfg.cpu_fallback {
                 tally.cpu_fallbacks += 1;
-                let recovered = sfft_cpu::sfft(group.plan.params(), &req.time, req.seed);
+                let recovered = SfftCpuBackend::reference(group.plan.params(), &req.time, req.seed);
                 RequestOutcome::Done(ServeResponse {
                     num_hits: recovered.len(),
                     recovered,
                     path: ServePath::Cpu,
                     qos: group.qos,
+                    backend: BackendKind::SfftCpu,
                 })
             } else {
                 tally.failed += 1;
@@ -365,12 +363,13 @@ fn short_circuit_group(
             overload.breaker_short_circuits += 1;
             let outcome = if cfg.cpu_fallback {
                 tally.cpu_fallbacks += 1;
-                let recovered = sfft_cpu::sfft(group.plan.params(), &req.time, req.seed);
+                let recovered = SfftCpuBackend::reference(group.plan.params(), &req.time, req.seed);
                 RequestOutcome::Done(ServeResponse {
                     num_hits: recovered.len(),
                     recovered,
                     path: ServePath::Cpu,
                     qos: group.qos,
+                    backend: BackendKind::SfftCpu,
                 })
             } else {
                 tally.failed += 1;
@@ -393,26 +392,15 @@ fn short_circuit_group(
     }
 }
 
-/// Crude deterministic service-time estimate for one request under
-/// plan `p`: both cuFFT phases, doubled to stand in for the kernels
-/// around them, plus the signal upload. Only *relative* consistency
-/// matters — the same model prices every request, so queue-depth and
-/// deadline predictions are stable and reproducible. It is intentionally
-/// a constant-factor model, not a replay of the real cost model.
-fn estimate_service(model_dev: &GpuDevice, spec: &DeviceSpec, p: &SfftParams) -> f64 {
-    2.0 * (cufft_model_time(model_dev, p.b_loc, p.loops_loc)
-        + cufft_model_time(model_dev, p.b_est, p.loops_est))
-        + transfer_time(spec, p.n * std::mem::size_of::<fft::cplx::Cplx>())
-}
-
 /// The admission controller's service-time estimate for an `(n, k)`
-/// full-QoS request on `spec`'s model device. Benchmarks use this as
-/// the pacing unit when constructing offered-load traces, so "load
-/// 2.0" means arrivals twice as fast as the admission model believes
-/// the server drains.
+/// full-QoS request served by the simulated GPU on `spec`'s model
+/// device (see [`crate::backend::Backend::estimate_cost`]). Benchmarks
+/// use this as the pacing unit when constructing offered-load traces,
+/// so "load 2.0" means arrivals twice as fast as the admission model
+/// believes the server drains.
 pub fn nominal_service(spec: &DeviceSpec, n: usize, k: usize) -> f64 {
-    let dev = GpuDevice::new(spec.clone());
-    estimate_service(&dev, spec, &SfftParams::tuned(n, k))
+    let dev = worker_device(spec, None);
+    GpuSimBackend.estimate_cost(&dev, spec, &SfftParams::tuned(n, k))
 }
 
 /// A request admitted past the queue and deadline checks.
@@ -444,10 +432,10 @@ impl ServeEngine {
         // Control-plane markers (sheds, breaker events) are recorded on
         // their own device so they merge into the timeline exactly once,
         // in decision order.
-        let control = GpuDevice::new(self.spec.clone());
+        let control = worker_device(&self.spec, None);
         // The estimator only reads the spec; one device prices all
         // requests.
-        let model_dev = GpuDevice::new(self.spec.clone());
+        let model_dev = worker_device(&self.spec, None);
         let requests: Vec<ServeRequest> = trace.iter().map(|t| t.request.clone()).collect();
 
         let mut outcomes: Vec<Option<RequestOutcome>> = (0..trace.len()).map(|_| None).collect();
@@ -467,6 +455,15 @@ impl ServeEngine {
                 });
                 continue;
             }
+            let Some(backend) = self.registry.get(req.backend) else {
+                outcomes[idx] = Some(RequestOutcome::Failed {
+                    error: CusFftError::BadRequest {
+                        reason: format!("backend {} is not registered", req.backend.label()),
+                    },
+                    after_attempts: 0,
+                });
+                continue;
+            };
             let depth = admitted.iter().filter(|a| a.finish > t.arrival).count();
             overload.peak_queue_depth = overload.peak_queue_depth.max(depth as u64);
             if depth >= policy.queue_capacity {
@@ -484,8 +481,11 @@ impl ServeEngine {
                 qos,
                 ..req.plan_key()
             };
-            let plan = self.cache.get_or_build(&self.home, key);
-            let est = estimate_service(&model_dev, &self.spec, plan.params());
+            let plan = self
+                .cache
+                .get_or_build(&self.home, &self.registry, key)
+                .expect("registry membership was checked at admission");
+            let est = backend.estimate_cost(&model_dev, &self.spec, plan.params());
             let finish = server_free.max(t.arrival) + est;
             if let Some(deadline) = t.deadline {
                 let predicted = finish - t.arrival;
@@ -523,7 +523,10 @@ impl ServeEngine {
                     key_to_group.insert(a.key, g);
                     groups.push(Group {
                         gid: g,
-                        plan: self.cache.get_or_build(&self.home, a.key),
+                        plan: self
+                            .cache
+                            .get_or_build(&self.home, &self.registry, a.key)
+                            .expect("admitted keys resolve to registered backends"),
                         indices: Vec::new(),
                         qos: a.key.qos,
                     });
@@ -764,16 +767,17 @@ mod tests {
     #[test]
     fn service_estimate_scales_with_geometry() {
         let spec = DeviceSpec::tesla_k20x();
-        let dev = GpuDevice::new(spec.clone());
-        let small = estimate_service(&dev, &spec, &SfftParams::tuned(1 << 10, 4));
-        let large = estimate_service(&dev, &spec, &SfftParams::tuned(1 << 14, 4));
+        let dev = worker_device(&spec, None);
+        let est = |p: &SfftParams| GpuSimBackend.estimate_cost(&dev, &spec, p);
+        let small = est(&SfftParams::tuned(1 << 10, 4));
+        let large = est(&SfftParams::tuned(1 << 14, 4));
         assert!(small > 0.0);
         assert!(large > small, "bigger n must price higher: {large} vs {small}");
         let full = SfftParams::tuned(1 << 12, 8);
         let degraded =
             SfftParams::with_tuning(1 << 12, 8, sfft_cpu::Tuning::default().degraded());
         assert!(
-            estimate_service(&dev, &spec, &degraded) < estimate_service(&dev, &spec, &full),
+            est(&degraded) < est(&full),
             "degraded plans must price cheaper"
         );
     }

@@ -21,16 +21,16 @@ use std::sync::Arc;
 
 use gpu_sim::GpuDevice;
 use parking_lot::Mutex;
-use sfft_cpu::{SfftParams, Tuning};
 
-use crate::pipeline::{CusFft, Variant};
+use crate::backend::{BackendKind, BackendRegistry, ExecutePlan};
+use crate::pipeline::Variant;
 
 /// Quality-of-service tier a request is served at. Under sustained
 /// queue pressure the overload layer re-plans requests onto
 /// [`ServeQos::Degraded`] — a reduced-accuracy sFFT with halved loop
-/// counts ([`Tuning::degraded`]) that trades recovery margin for
-/// latency. Part of [`PlanKey`], so Full and Degraded plans for the
-/// same geometry coexist in the cache.
+/// counts ([`sfft_cpu::Tuning::degraded`]) that trades recovery margin
+/// for latency. Part of [`PlanKey`], so Full and Degraded plans for
+/// the same geometry coexist in the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ServeQos {
     /// Default-accuracy plan.
@@ -50,8 +50,11 @@ impl ServeQos {
     }
 }
 
-/// Identity of a plan: the signal geometry, implementation tier and QoS
-/// tier. Two requests with equal keys are served by the same [`CusFft`].
+/// Identity of a plan: the signal geometry, implementation tier, QoS
+/// tier and execution backend. Two requests with equal keys are served
+/// by the same [`ExecutePlan`]. `backend` is part of the key so a
+/// degraded-QoS GPU plan and a CPU plan for the same `(n, k)` can
+/// never alias in the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Signal length (power of two).
@@ -62,6 +65,8 @@ pub struct PlanKey {
     pub variant: Variant,
     /// Accuracy tier.
     pub qos: ServeQos,
+    /// Execution backend.
+    pub backend: BackendKind,
 }
 
 /// Snapshot of the cache counters.
@@ -90,13 +95,13 @@ impl CacheStats {
 }
 
 struct Inner {
-    plans: HashMap<PlanKey, Arc<CusFft>>,
+    plans: HashMap<PlanKey, Arc<dyn ExecutePlan>>,
     /// Keys from least- to most-recently used. Every key in `plans`
     /// appears exactly once.
     recency: VecDeque<PlanKey>,
 }
 
-/// LRU-bounded, thread-safe `(n, k, variant) → Arc<CusFft>` cache.
+/// LRU-bounded, thread-safe [`PlanKey`]` → Arc<dyn ExecutePlan>` cache.
 pub struct PlanCache {
     capacity: usize,
     inner: Mutex<Inner>,
@@ -133,9 +138,9 @@ impl PlanCache {
     /// threads miss the same key concurrently, both build but only the
     /// first insert wins; the loser's plan is dropped and the winner's is
     /// returned, so all callers still share one plan per key.
-    pub fn get_or_insert_with<F>(&self, key: PlanKey, build: F) -> Arc<CusFft>
+    pub fn get_or_insert_with<F>(&self, key: PlanKey, build: F) -> Arc<dyn ExecutePlan>
     where
-        F: FnOnce() -> Arc<CusFft>,
+        F: FnOnce() -> Arc<dyn ExecutePlan>,
     {
         if let Some(plan) = self.lookup(key) {
             return plan;
@@ -164,7 +169,7 @@ impl PlanCache {
     }
 
     /// Hit path: probe and touch the recency list.
-    fn lookup(&self, key: PlanKey) -> Option<Arc<CusFft>> {
+    fn lookup(&self, key: PlanKey) -> Option<Arc<dyn ExecutePlan>> {
         let mut inner = self.inner.lock();
         let plan = inner.plans.get(&key).cloned()?;
         touch(&mut inner.recency, key);
@@ -172,21 +177,20 @@ impl PlanCache {
         Some(plan)
     }
 
-    /// Builds the standard plan for `key` on `device` — default tuning
-    /// for [`ServeQos::Full`], [`Tuning::degraded`] for
-    /// [`ServeQos::Degraded`]. The serving layer's default `build`.
-    pub fn get_or_build(&self, device: &Arc<GpuDevice>, key: PlanKey) -> Arc<CusFft> {
-        self.get_or_insert_with(key, || {
-            let tuning = match key.qos {
-                ServeQos::Full => Tuning::default(),
-                ServeQos::Degraded => Tuning::default().degraded(),
-            };
-            Arc::new(CusFft::new(
-                Arc::clone(device),
-                Arc::new(SfftParams::with_tuning(key.n, key.k, tuning)),
-                key.variant,
-            ))
-        })
+    /// Builds the plan for `key` through `registry` — the backend named
+    /// by `key.backend` applies the key's QoS tuning (default for
+    /// [`ServeQos::Full`], [`sfft_cpu::Tuning::degraded`] for
+    /// [`ServeQos::Degraded`]). Returns `None` (without touching the
+    /// counters) when `key.backend` is not registered; the serving
+    /// layer turns that into a typed rejection.
+    pub fn get_or_build(
+        &self,
+        device: &Arc<GpuDevice>,
+        registry: &BackendRegistry,
+        key: PlanKey,
+    ) -> Option<Arc<dyn ExecutePlan>> {
+        let backend = registry.get(key.backend)?;
+        Some(self.get_or_insert_with(key, || backend.build_plan(device, key)))
     }
 
     /// Counter snapshot. `hits + misses` equals total lookups.
@@ -220,6 +224,7 @@ mod tests {
             k,
             variant,
             qos: ServeQos::Full,
+            backend: BackendKind::GpuSim,
         }
     }
 
@@ -227,12 +232,21 @@ mod tests {
         Arc::new(GpuDevice::new(DeviceSpec::tesla_k20x()))
     }
 
+    fn registry() -> BackendRegistry {
+        BackendRegistry::with_defaults()
+    }
+
     #[test]
     fn second_lookup_hits_and_shares_the_plan() {
         let cache = PlanCache::new(4);
         let dev = device();
-        let a = cache.get_or_build(&dev, key(1 << 10, 4, Variant::Optimized));
-        let b = cache.get_or_build(&dev, key(1 << 10, 4, Variant::Optimized));
+        let reg = registry();
+        let a = cache
+            .get_or_build(&dev, &reg, key(1 << 10, 4, Variant::Optimized))
+            .unwrap();
+        let b = cache
+            .get_or_build(&dev, &reg, key(1 << 10, 4, Variant::Optimized))
+            .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
@@ -242,8 +256,13 @@ mod tests {
     fn distinct_variants_get_distinct_plans() {
         let cache = PlanCache::new(4);
         let dev = device();
-        let a = cache.get_or_build(&dev, key(1 << 10, 4, Variant::Baseline));
-        let b = cache.get_or_build(&dev, key(1 << 10, 4, Variant::Optimized));
+        let reg = registry();
+        let a = cache
+            .get_or_build(&dev, &reg, key(1 << 10, 4, Variant::Baseline))
+            .unwrap();
+        let b = cache
+            .get_or_build(&dev, &reg, key(1 << 10, 4, Variant::Optimized))
+            .unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(a.variant(), Variant::Baseline);
         assert_eq!(b.variant(), Variant::Optimized);
@@ -253,17 +272,18 @@ mod tests {
     fn lru_evicts_least_recent() {
         let cache = PlanCache::new(2);
         let dev = device();
+        let reg = registry();
         let k1 = key(1 << 9, 2, Variant::Baseline);
         let k2 = key(1 << 10, 2, Variant::Baseline);
         let k3 = key(1 << 11, 2, Variant::Baseline);
-        cache.get_or_build(&dev, k1);
-        cache.get_or_build(&dev, k2);
-        cache.get_or_build(&dev, k1); // k2 is now least recent
-        cache.get_or_build(&dev, k3); // evicts k2
+        cache.get_or_build(&dev, &reg, k1);
+        cache.get_or_build(&dev, &reg, k2);
+        cache.get_or_build(&dev, &reg, k1); // k2 is now least recent
+        cache.get_or_build(&dev, &reg, k3); // evicts k2
         let s = cache.stats();
         assert_eq!(s.len, 2);
         assert_eq!(s.evictions, 1);
-        cache.get_or_build(&dev, k2); // rebuilt: a miss
+        cache.get_or_build(&dev, &reg, k2); // rebuilt: a miss
         assert_eq!(cache.stats().misses, 4);
     }
 
@@ -271,8 +291,11 @@ mod tests {
     fn plans_match_their_key() {
         let cache = PlanCache::new(3);
         let dev = device();
+        let reg = registry();
         for &(n, k) in &[(1 << 9, 2), (1 << 10, 4), (1 << 11, 8)] {
-            let plan = cache.get_or_build(&dev, key(n, k, Variant::Optimized));
+            let plan = cache
+                .get_or_build(&dev, &reg, key(n, k, Variant::Optimized))
+                .unwrap();
             assert_eq!(plan.params().n, n);
             assert_eq!(plan.params().k, k);
         }
@@ -282,17 +305,55 @@ mod tests {
     fn qos_tiers_get_distinct_plans() {
         let cache = PlanCache::new(4);
         let dev = device();
-        let full = cache.get_or_build(&dev, key(1 << 10, 4, Variant::Optimized));
-        let degraded = cache.get_or_build(
-            &dev,
-            PlanKey {
-                qos: ServeQos::Degraded,
-                ..key(1 << 10, 4, Variant::Optimized)
-            },
-        );
+        let reg = registry();
+        let full = cache
+            .get_or_build(&dev, &reg, key(1 << 10, 4, Variant::Optimized))
+            .unwrap();
+        let degraded = cache
+            .get_or_build(
+                &dev,
+                &reg,
+                PlanKey {
+                    qos: ServeQos::Degraded,
+                    ..key(1 << 10, 4, Variant::Optimized)
+                },
+            )
+            .unwrap();
         assert!(!Arc::ptr_eq(&full, &degraded));
         assert!(degraded.params().loops_total() < full.params().loops_total());
         assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn backends_get_distinct_plans_and_unregistered_kinds_miss() {
+        let cache = PlanCache::new(8);
+        let dev = device();
+        let reg = registry();
+        let gpu = cache
+            .get_or_build(&dev, &reg, key(1 << 10, 4, Variant::Optimized))
+            .unwrap();
+        let cpu = cache
+            .get_or_build(
+                &dev,
+                &reg,
+                PlanKey {
+                    backend: BackendKind::SfftCpu,
+                    ..key(1 << 10, 4, Variant::Optimized)
+                },
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&gpu, &cpu));
+        assert_eq!(gpu.backend(), BackendKind::GpuSim);
+        assert_eq!(cpu.backend(), BackendKind::SfftCpu);
+        assert_eq!(cache.stats().len, 2);
+
+        // An empty registry resolves nothing and leaves counters alone.
+        let empty = crate::backend::BackendRegistry::empty();
+        let before = cache.stats();
+        assert!(cache
+            .get_or_build(&dev, &empty, key(1 << 10, 4, Variant::Optimized))
+            .is_none());
+        assert_eq!(cache.stats(), before);
     }
 
     #[test]

@@ -6,18 +6,25 @@
 //! multi-stream sections do *within* one transform, lifted to the request
 //! level) make that cheap:
 //!
-//! 1. **Plan caching** ([`PlanCache`]): one [`CusFft`] per
-//!    `(n, k, variant)`, shared across requests and worker threads.
+//! 1. **Plan caching** ([`PlanCache`]): one [`ExecutePlan`] per
+//!    `(n, k, variant, qos, backend)`, shared across requests and
+//!    worker threads.
 //! 2. **Cross-request cuFFT batching**: all requests with the same plan
 //!    are prepared together and their subsampled FFTs ride in a single
 //!    batched cuFFT launch per bucket geometry
-//!    ([`CusFft::run_batched_ffts`]) — "compute cuFFT only once",
+//!    ([`ExecutePlan::run_batched_ffts`]) — "compute cuFFT only once",
 //!    amortised across requests as well as inner loops.
 //! 3. **Sharded multi-stream dispatch**: geometry groups are dealt
 //!    round-robin to worker threads, each owning a private stream family
 //!    on the simulated device, so independent groups overlap on the
 //!    simulated timeline exactly as concurrent streams overlap on real
 //!    hardware (paper Fig. 4).
+//!
+//! Execution itself is pluggable: every request names a
+//! [`BackendKind`], the engine resolves it through its
+//! [`BackendRegistry`] (never constructing device pipelines or CPU
+//! reference paths directly), and requests for different backends land
+//! in different plan groups. See [`crate::backend`].
 //!
 //! ## Fault tolerance
 //!
@@ -34,10 +41,12 @@
 //!   [`ServeConfig::max_retries`] attempts, each preceded by a
 //!   deterministic exponential backoff charged to the timeline as a host
 //!   op (which contends for no device resource).
-//! * **CPU degradation** — when retries are exhausted and
-//!   [`ServeConfig::cpu_fallback`] is on, the request completes on the
-//!   `sfft-cpu` reference path ([`ServePath::Cpu`]); otherwise it fails
-//!   with a typed [`CusFftError`].
+//! * **Backend re-routing** — when retries are exhausted and
+//!   [`ServeConfig::cpu_fallback`] is on, the request is re-routed to
+//!   the [`SfftCpuBackend`] ([`ServePath::Cpu`],
+//!   [`ServeResponse::backend`] = [`BackendKind::SfftCpu`]); otherwise
+//!   it fails with a typed [`CusFftError`]. Degradation is ordinary
+//!   backend selection, not a bolted-on special case.
 //! * **Panic containment** — per-request work runs under `catch_unwind`,
 //!   so a panicking request degrades like any fault; a lost worker thread
 //!   fails over to the engine thread, which serves its requests on the
@@ -64,9 +73,13 @@ use gpu_sim::{
 };
 use signal::Recovered;
 
+use crate::backend::{
+    home_device, worker_device, BackendKind, BackendRegistry, ExecutePlan, PreparedState,
+    SfftCpuBackend,
+};
 use crate::error::CusFftError;
 use crate::overload::{LatencyStats, OverloadTally};
-use crate::pipeline::{CusFft, ExecStreams, PreparedRequest, Variant};
+use crate::pipeline::{ExecStreams, Variant};
 use crate::plan_cache::{CacheStats, PlanCache, PlanKey, ServeQos};
 
 /// One sparse-FFT request: a signal plus the geometry to serve it under.
@@ -80,9 +93,29 @@ pub struct ServeRequest {
     pub variant: Variant,
     /// Seed for the request's random permutations.
     pub seed: u64,
+    /// Execution backend to serve this request on — a per-request QoS
+    /// policy, resolved through the engine's [`BackendRegistry`].
+    pub backend: BackendKind,
 }
 
 impl ServeRequest {
+    /// A request on the default backend ([`BackendKind::GpuSim`]).
+    pub fn new(time: Vec<Cplx>, k: usize, variant: Variant, seed: u64) -> Self {
+        ServeRequest {
+            time,
+            k,
+            variant,
+            seed,
+            backend: BackendKind::GpuSim,
+        }
+    }
+
+    /// Routes the request to `backend`.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The cache key this request resolves to at full QoS. The overload
     /// path may re-key onto [`ServeQos::Degraded`] under queue pressure.
     pub fn plan_key(&self) -> PlanKey {
@@ -91,6 +124,7 @@ impl ServeRequest {
             k: self.k,
             variant: self.variant,
             qos: ServeQos::Full,
+            backend: self.backend,
         }
     }
 }
@@ -116,8 +150,8 @@ pub struct ServeConfig {
     pub faults: Option<FaultConfig>,
     /// Individual retry attempts per evicted request before degrading.
     pub max_retries: u32,
-    /// Complete exhausted requests on the `sfft-cpu` reference path
-    /// instead of failing them.
+    /// Re-route exhausted requests to the [`SfftCpuBackend`] instead of
+    /// failing them.
     pub cpu_fallback: bool,
 }
 
@@ -133,14 +167,18 @@ impl Default for ServeConfig {
     }
 }
 
-/// Which execution path produced a response.
+/// Which execution path produced a response. Orthogonal to
+/// [`ServeResponse::backend`]: the path says *how the engine got there*
+/// (first batch attempt, after retries, or fallback re-route), the
+/// backend says *what executed*.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServePath {
-    /// First-attempt GPU batch path.
+    /// First-attempt batch path on the request's own backend.
     Gpu,
-    /// GPU path after one or more individual retries.
+    /// The request's own backend, after one or more individual retries.
     GpuRetry,
-    /// Degraded to the `sfft-cpu` reference implementation.
+    /// Fallback re-route to the [`SfftCpuBackend`] after retries were
+    /// exhausted (or a worker was lost).
     Cpu,
 }
 
@@ -169,6 +207,10 @@ pub struct ServeResponse {
     /// The accuracy tier the request was served at ([`ServeQos::Full`]
     /// everywhere except the overload path's brownout mode).
     pub qos: ServeQos,
+    /// The backend that actually executed the request — the request's
+    /// own [`ServeRequest::backend`] on the GPU paths,
+    /// [`BackendKind::SfftCpu`] after a fallback re-route.
+    pub backend: BackendKind,
 }
 
 /// Terminal outcome of one request. Requests fail individually; one bad
@@ -388,7 +430,7 @@ pub(crate) struct Group {
     /// Global group index — the fault-scope base, so fault decisions are
     /// invariant under how groups are dealt to workers.
     pub(crate) gid: usize,
-    pub(crate) plan: Arc<CusFft>,
+    pub(crate) plan: Arc<dyn ExecutePlan>,
     pub(crate) indices: Vec<usize>,
     /// Accuracy tier this group is served at (always [`ServeQos::Full`]
     /// on the plain batch path; the overload path's brownout re-keys
@@ -415,7 +457,8 @@ pub(crate) fn scope_retry(g: usize, j: usize, attempt: u32, hedged: bool) -> u64
         | u64::from(attempt)
 }
 
-/// The concurrent serving engine: plan cache + sharded batch dispatch.
+/// The concurrent serving engine: backend registry + plan cache +
+/// sharded batch dispatch.
 pub struct ServeEngine {
     pub(crate) spec: DeviceSpec,
     /// Device plans are built against. Plan buffers are host-backed and
@@ -423,17 +466,28 @@ pub struct ServeEngine {
     pub(crate) home: Arc<GpuDevice>,
     pub(crate) cache: PlanCache,
     pub(crate) config: ServeConfig,
+    /// Execution backends, keyed by [`BackendKind`]. All plan builds and
+    /// request pricing resolve through here.
+    pub(crate) registry: BackendRegistry,
 }
 
 impl ServeEngine {
-    /// Creates an engine simulating `spec` devices under `config`.
+    /// Creates an engine simulating `spec` devices under `config`, with
+    /// all stock backends registered.
     pub fn new(spec: DeviceSpec, config: ServeConfig) -> Self {
+        Self::with_registry(spec, config, BackendRegistry::with_defaults())
+    }
+
+    /// Creates an engine with an explicit backend registry — requests
+    /// naming an unregistered [`BackendKind`] fail typed at admission.
+    pub fn with_registry(spec: DeviceSpec, config: ServeConfig, registry: BackendRegistry) -> Self {
         assert!(config.workers >= 1, "serve engine needs at least 1 worker");
         ServeEngine {
-            home: Arc::new(GpuDevice::new(spec.clone())),
+            home: home_device(&spec),
             spec,
             cache: PlanCache::new(config.cache_capacity),
             config,
+            registry,
         }
     }
 
@@ -445,6 +499,11 @@ impl ServeEngine {
     /// The engine's configuration.
     pub fn config(&self) -> ServeConfig {
         self.config
+    }
+
+    /// The engine's backend registry.
+    pub fn registry(&self) -> &BackendRegistry {
+        &self.registry
     }
 
     /// Serves a batch: groups requests by plan key, shards the groups
@@ -595,7 +654,15 @@ impl ServeEngine {
             let key = req.plan_key();
             // Look up per request — cache counters reflect request
             // traffic, the signal a production cache sizes itself by.
-            let plan = self.cache.get_or_build(&self.home, key);
+            let Some(plan) = self.cache.get_or_build(&self.home, &self.registry, key) else {
+                prefailed.push((
+                    idx,
+                    CusFftError::BadRequest {
+                        reason: format!("backend {} is not registered", req.backend.label()),
+                    },
+                ));
+                continue;
+            };
             match key_to_group.get(&key) {
                 Some(&g) => groups[g].indices.push(idx),
                 None => {
@@ -651,10 +718,7 @@ fn run_worker(
     aux: usize,
     cfg: &ServeConfig,
 ) -> WorkerOutput {
-    let device = GpuDevice::new(spec);
-    if let Some(fc) = cfg.faults {
-        device.install_fault_plan(fc);
-    }
+    let device = worker_device(&spec, cfg.faults.as_ref());
     let streams = ExecStreams::on_device_private(&device, aux);
     let mut tally = FaultTally::default();
     let mut results = Vec::new();
@@ -714,13 +778,12 @@ pub(crate) fn run_group(
     // Batch attempt. Every fault decision inside it rolls in the group's
     // own scope, so the sequence is invariant under worker placement.
     device.set_fault_scope(scope_group(g, hedged));
-    device.set_op_tag(tag_batch(g, hedged));
-    let mut preps: Vec<Option<PreparedRequest>> = Vec::with_capacity(nreq);
+    device.set_op_tag(tag_batch(g, plan.backend().code(), hedged));
+    let mut preps: Vec<Option<PreparedState>> = Vec::with_capacity(nreq);
     for (j, &idx) in group.indices.iter().enumerate() {
         let req = &requests[idx];
         let r = run_caught(tally, "prepare", || {
-            let signal = device.try_resident(&req.time, streams.main)?;
-            plan.prepare(device, &signal, req.seed, streams)
+            plan.prepare(device, &req.time, req.seed, streams)
         });
         match r {
             Ok(p) => preps.push(Some(p)),
@@ -738,7 +801,7 @@ pub(crate) fn run_group(
     let mut batched_ok = true;
     if !survivors.is_empty() {
         let r = run_caught(tally, "batched cuFFT", || {
-            let mut refs: Vec<&mut PreparedRequest> =
+            let mut refs: Vec<&mut PreparedState> =
                 preps.iter_mut().filter_map(|p| p.as_mut()).collect();
             plan.run_batched_ffts(device, &mut refs, streams.main)
         });
@@ -770,6 +833,7 @@ pub(crate) fn run_group(
                         num_hits,
                         path: ServePath::Gpu,
                         qos: group.qos,
+                        backend: plan.backend(),
                     }));
                 }
                 Err(e) => {
@@ -793,12 +857,11 @@ pub(crate) fn run_group(
             // Deterministic exponential backoff, visible on the timeline
             // but contending for no device resource.
             let backoff = RETRY_BACKOFF_BASE * (1u64 << (attempt - 1)) as f64;
-            device.set_op_tag(tag_retry(g, j, attempt, hedged));
+            device.set_op_tag(tag_retry(g, j, attempt, plan.backend().code(), hedged));
             device.charge_host_op("retry_backoff", backoff, streams.main);
             device.set_fault_scope(scope_retry(g, j, attempt, hedged));
             let r = run_caught(tally, "retry", || {
-                let signal = device.try_resident(&req.time, streams.main)?;
-                let mut prep = plan.prepare(device, &signal, req.seed, streams)?;
+                let mut prep = plan.prepare(device, &req.time, req.seed, streams)?;
                 plan.run_batched_ffts(device, &mut [&mut prep], streams.main)?;
                 let (recovered, num_hits) = plan.finish(device, &prep, streams)?;
                 Ok(ServeResponse {
@@ -806,6 +869,7 @@ pub(crate) fn run_group(
                     num_hits,
                     path: ServePath::GpuRetry,
                     qos: group.qos,
+                    backend: plan.backend(),
                 })
             });
             match r {
@@ -823,16 +887,20 @@ pub(crate) fn run_group(
             Some(resp) => RequestOutcome::Done(resp),
             None if cfg.cpu_fallback => {
                 tally.cpu_fallbacks += 1;
-                // Zero-duration marker: the degradation is visible on the
+                // Zero-duration marker: the re-route is visible on the
                 // timeline without inventing a device cost for CPU work.
-                device.set_op_tag(tag_fallback(g, j, hedged));
+                device.set_op_tag(tag_fallback(g, j, BackendKind::SfftCpu.code(), hedged));
                 device.charge_host_op("cpu_fallback", 0.0, streams.main);
-                let recovered = sfft_cpu::sfft(plan.params(), &req.time, req.seed);
+                // Straight to the backend's pure computation — never the
+                // plan cache, which worker threads must not touch (its
+                // counters are part of the determinism contract).
+                let recovered = SfftCpuBackend::reference(plan.params(), &req.time, req.seed);
                 RequestOutcome::Done(ServeResponse {
                     num_hits: recovered.len(),
                     recovered,
                     path: ServePath::Cpu,
                     qos: group.qos,
+                    backend: BackendKind::SfftCpu,
                 })
             }
             None => {
@@ -878,12 +946,14 @@ fn recover_worker_loss(
             let req = &requests[idx];
             let outcome = if cfg.cpu_fallback {
                 tally.cpu_fallbacks += 1;
-                let recovered = sfft_cpu::sfft(group.plan.params(), &req.time, req.seed);
+                let recovered =
+                    SfftCpuBackend::reference(group.plan.params(), &req.time, req.seed);
                 RequestOutcome::Done(ServeResponse {
                     num_hits: recovered.len(),
                     recovered,
                     path: ServePath::Cpu,
                     qos: group.qos,
+                    backend: BackendKind::SfftCpu,
                 })
             } else {
                 tally.failed += 1;
@@ -911,12 +981,7 @@ mod tests {
 
     fn request(n: usize, k: usize, variant: Variant, sig_seed: u64, seed: u64) -> ServeRequest {
         let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, sig_seed);
-        ServeRequest {
-            time: s.time,
-            k,
-            variant,
-            seed,
-        }
+        ServeRequest::new(s.time, k, variant, seed)
     }
 
     #[test]
@@ -1032,15 +1097,19 @@ mod tests {
             })
             .collect();
         let report = engine.serve_batch(&reqs);
+        let spec = DeviceSpec::tesla_k20x();
+        let home = home_device(&spec);
         for (req, outcome) in reqs.iter().zip(&report.outcomes) {
-            let plan = CusFft::new(
-                Arc::new(GpuDevice::new(DeviceSpec::tesla_k20x())),
-                Arc::new(sfft_cpu::SfftParams::tuned(req.time.len(), req.k)),
-                req.variant,
-            );
-            let direct = plan.execute(&req.time, req.seed);
+            let plan = engine
+                .registry()
+                .get(req.backend)
+                .unwrap()
+                .build_plan(&home, req.plan_key());
+            let direct = crate::backend::execute_direct(&*plan, &spec, &req.time, req.seed)
+                .expect("fault-free direct execution");
             let resp = outcome.response().expect("fault-free batch completes");
-            assert_eq!(resp.recovered, direct.recovered);
+            assert_eq!(resp.recovered, direct);
+            assert_eq!(resp.backend, req.backend);
         }
     }
 
@@ -1050,19 +1119,9 @@ mod tests {
         let reqs = vec![
             request(1 << 10, 4, Variant::Optimized, 1, 11),
             // Non-power-of-two length: the plan constructor would panic.
-            ServeRequest {
-                time: vec![fft::cplx::ZERO; 1000],
-                k: 4,
-                variant: Variant::Optimized,
-                seed: 1,
-            },
+            ServeRequest::new(vec![fft::cplx::ZERO; 1000], 4, Variant::Optimized, 1),
             // k out of range for n.
-            ServeRequest {
-                time: vec![fft::cplx::ZERO; 1 << 10],
-                k: 1 << 10,
-                variant: Variant::Optimized,
-                seed: 1,
-            },
+            ServeRequest::new(vec![fft::cplx::ZERO; 1 << 10], 1 << 10, Variant::Optimized, 1),
         ];
         let report = engine.serve_batch(&reqs);
         assert!(report.outcomes[0].response().is_some());
@@ -1093,6 +1152,7 @@ mod tests {
         for outcome in &report.outcomes {
             let resp = outcome.response().expect("cpu fallback completes");
             assert_eq!(resp.path, ServePath::Cpu);
+            assert_eq!(resp.backend, BackendKind::SfftCpu, "re-routed backend");
         }
         assert_eq!(report.faults.cpu_fallbacks, 4);
         assert_eq!(report.faults.evictions, 4);
@@ -1119,5 +1179,49 @@ mod tests {
         }
         assert_eq!(report.faults.failed, 1);
         assert_eq!(report.faults.cpu_fallbacks, 0);
+    }
+
+    #[test]
+    fn requests_route_to_their_named_backend() {
+        let engine = ServeEngine::new(DeviceSpec::tesla_k20x(), ServeConfig::default());
+        let reqs: Vec<ServeRequest> = BackendKind::all()
+            .into_iter()
+            .map(|b| request(1 << 10, 4, Variant::Optimized, 3, 17).with_backend(b))
+            .collect();
+        let report = engine.serve_batch(&reqs);
+        // Same geometry, three backends: three groups, three plans.
+        assert_eq!(report.groups, 3);
+        for (req, outcome) in reqs.iter().zip(&report.outcomes) {
+            let resp = outcome.response().expect("every backend serves clean");
+            assert_eq!(resp.path, ServePath::Gpu);
+            assert_eq!(resp.backend, req.backend);
+        }
+        for (info, req) in report.group_info.iter().zip(&reqs) {
+            assert_eq!(info.key.backend, req.backend);
+        }
+    }
+
+    #[test]
+    fn unregistered_backend_fails_typed() {
+        let mut registry = BackendRegistry::empty();
+        registry.register(Arc::new(crate::backend::GpuSimBackend));
+        let engine = ServeEngine::with_registry(
+            DeviceSpec::tesla_k20x(),
+            ServeConfig::default(),
+            registry,
+        );
+        let reqs = vec![
+            request(1 << 10, 4, Variant::Optimized, 1, 11),
+            request(1 << 10, 4, Variant::Optimized, 2, 12).with_backend(BackendKind::DenseFft),
+        ];
+        let report = engine.serve_batch(&reqs);
+        assert!(report.outcomes[0].response().is_some());
+        match report.outcomes[1].error() {
+            Some(CusFftError::BadRequest { reason }) => {
+                assert!(reason.contains("dense_fft"), "reason names the backend: {reason}");
+            }
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        assert_eq!(report.faults.failed, 1);
     }
 }

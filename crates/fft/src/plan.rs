@@ -238,6 +238,15 @@ impl Plan {
         self.process(&mut buf, dir);
         buf
     }
+
+    /// Forward transform into analysis coefficients `c_f` matching the
+    /// repo-wide convention `x[t] = (1/n) Σ_f c_f e^{+2πi f t / n}`
+    /// (the inverse here carries the `1/n`, so the plain forward is
+    /// already in coefficient units). These are directly comparable
+    /// with sFFT's recovered `(frequency, coefficient)` pairs.
+    pub fn forward_coefficients(&self, input: &[Cplx]) -> Vec<Cplx> {
+        self.transform(input, Direction::Forward)
+    }
 }
 
 impl std::fmt::Debug for Plan {

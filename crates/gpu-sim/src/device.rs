@@ -140,6 +140,18 @@ impl GpuDevice {
         Self::new(DeviceSpec::tesla_k20x())
     }
 
+    /// Creates a device with `config`'s fault plan pre-installed (`None`
+    /// provisions a clean device). The serving layer's execution backends
+    /// route every device they construct through this, so provisioning
+    /// has a single audited entry point.
+    pub fn with_fault_plan(spec: DeviceSpec, config: Option<FaultConfig>) -> Self {
+        let device = Self::new(spec);
+        if let Some(fc) = config {
+            device.install_fault_plan(fc);
+        }
+        device
+    }
+
     /// Device specification.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec

@@ -201,6 +201,22 @@ impl SfftParams {
     pub fn loops_total(&self) -> usize {
         self.loops_loc + self.loops_est
     }
+
+    /// Deterministic abstract host-work estimate for one execution of
+    /// these parameters, in arbitrary "operation" units: per loop, the
+    /// filter convolution (`width` multiply-adds) plus the subsampled
+    /// FFT (`B·log₂B`), plus one pass over the signal. Only *relative*
+    /// consistency matters — admission-control pricers scale this by a
+    /// constant rate — so degraded tunings (fewer loops) price cheaper
+    /// and larger geometries price higher, with no wall clocks involved.
+    pub fn host_work_estimate(&self) -> f64 {
+        let side = |loops: usize, b: usize, width: usize| {
+            loops as f64 * (width as f64 + b as f64 * (b as f64).log2().max(1.0))
+        };
+        side(self.loops_loc, self.b_loc, self.filter_loc.width())
+            + side(self.loops_est, self.b_est, self.filter_est.width())
+            + self.n as f64
+    }
 }
 
 /// Designs one side (location or estimation): bucket count + filter.

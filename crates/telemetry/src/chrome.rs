@@ -285,7 +285,7 @@ pub fn validate_chrome_trace(trace: &str) -> Result<TraceSummary, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::span::{build_span_tree, tag_batch};
+    use crate::span::{build_span_tree, tag_batch, BACKEND_GPU_SIM};
     use gpu_sim::{schedule, Engine, StreamId};
 
     #[test]
@@ -295,8 +295,8 @@ mod tests {
             Op::new(1, StreamId(1), Engine::Device, 1e-3, "exec".into()),
             Op::new(2, StreamId(1), Engine::Pcie, 5e-4, "dtoh".into()),
         ];
-        ops[1].tag = tag_batch(0, false);
-        ops[2].tag = tag_batch(0, false);
+        ops[1].tag = tag_batch(0, BACKEND_GPU_SIM, false);
+        ops[2].tag = tag_batch(0, BACKEND_GPU_SIM, false);
         let sched = schedule(&ops, 32);
         let tree = build_span_tree(&ops, &sched, &[], &[]);
         let trace = chrome_trace(&ops, &sched, &tree);

@@ -30,6 +30,7 @@ pub use chrome::{chrome_trace, validate_chrome_trace, TraceSummary};
 pub use json::{parse as parse_json, JsonValue};
 pub use metrics::{fmt_f64, Histogram, MetricKind, Registry, Sample, HIST_BOUNDS};
 pub use span::{
-    build_span_tree, decode_tag, op_category, tag_batch, tag_fallback, tag_retry, GroupMeta,
-    OpAttribution, RequestMeta, Span, SpanKind, SpanTree,
+    backend_label, build_span_tree, decode_tag, op_category, tag_batch, tag_fallback, tag_retry,
+    GroupMeta, OpAttribution, RequestMeta, Span, SpanKind, SpanTree, BACKEND_CONTROL,
+    BACKEND_DENSE_FFT, BACKEND_GPU_SIM, BACKEND_SFFT_CPU,
 };

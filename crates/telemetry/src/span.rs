@@ -32,32 +32,60 @@ const KIND_SHIFT: u32 = 60;
 const GID_SHIFT: u32 = 32;
 const J_SHIFT: u32 = 16;
 const ATTEMPT_SHIFT: u32 = 8;
+const BACKEND_SHIFT: u32 = 1;
+const BACKEND_MASK: u64 = 0x3;
 const HEDGE_BIT: u64 = 1;
 
 const KIND_BATCH: u64 = 1;
 const KIND_RETRY: u64 = 2;
 const KIND_FALLBACK: u64 = 3;
 
-/// Tag for ops enqueued by a group's batched attempt.
-pub fn tag_batch(gid: usize, hedged: bool) -> u64 {
-    (KIND_BATCH << KIND_SHIFT) | ((gid as u64) << GID_SHIFT) | (u64::from(hedged) * HEDGE_BIT)
+/// Backend code for control-plane ops (no backend executed them).
+pub const BACKEND_CONTROL: u8 = 0;
+/// Backend code for the simulated-GPU execution backend.
+pub const BACKEND_GPU_SIM: u8 = 1;
+/// Backend code for the CPU reference sFFT backend.
+pub const BACKEND_SFFT_CPU: u8 = 2;
+/// Backend code for the dense-FFT oracle backend.
+pub const BACKEND_DENSE_FFT: u8 = 3;
+
+/// Stable label for a backend code (the `backend:<kind>` telemetry
+/// dimension). Unknown codes cannot occur: the tag field is two bits.
+pub fn backend_label(code: u8) -> &'static str {
+    match code & BACKEND_MASK as u8 {
+        BACKEND_GPU_SIM => "gpu_sim",
+        BACKEND_SFFT_CPU => "sfft_cpu",
+        BACKEND_DENSE_FFT => "dense_fft",
+        _ => "control",
+    }
+}
+
+/// Tag for ops enqueued by a group's batched attempt on `backend`.
+pub fn tag_batch(gid: usize, backend: u8, hedged: bool) -> u64 {
+    (KIND_BATCH << KIND_SHIFT)
+        | ((gid as u64) << GID_SHIFT)
+        | ((u64::from(backend) & BACKEND_MASK) << BACKEND_SHIFT)
+        | (u64::from(hedged) * HEDGE_BIT)
 }
 
 /// Tag for ops enqueued by an individual retry of request `j` (the
 /// group-local member ordinal) on attempt `attempt` (1-based).
-pub fn tag_retry(gid: usize, j: usize, attempt: u32, hedged: bool) -> u64 {
+pub fn tag_retry(gid: usize, j: usize, attempt: u32, backend: u8, hedged: bool) -> u64 {
     (KIND_RETRY << KIND_SHIFT)
         | ((gid as u64) << GID_SHIFT)
         | (((j as u64) & 0xffff) << J_SHIFT)
         | ((u64::from(attempt) & 0xff) << ATTEMPT_SHIFT)
+        | ((u64::from(backend) & BACKEND_MASK) << BACKEND_SHIFT)
         | (u64::from(hedged) * HEDGE_BIT)
 }
 
-/// Tag for ops enqueued by the CPU fallback of request `j`.
-pub fn tag_fallback(gid: usize, j: usize, hedged: bool) -> u64 {
+/// Tag for ops enqueued by the fallback re-route of request `j` (the
+/// degradation path runs on `backend` — ordinarily the CPU reference).
+pub fn tag_fallback(gid: usize, j: usize, backend: u8, hedged: bool) -> u64 {
     (KIND_FALLBACK << KIND_SHIFT)
         | ((gid as u64) << GID_SHIFT)
         | (((j as u64) & 0xffff) << J_SHIFT)
+        | ((u64::from(backend) & BACKEND_MASK) << BACKEND_SHIFT)
         | (u64::from(hedged) * HEDGE_BIT)
 }
 
@@ -70,6 +98,8 @@ pub enum OpAttribution {
     Batch {
         /// Group index.
         gid: usize,
+        /// Executing backend code (see [`backend_label`]).
+        backend: u8,
         /// Speculative hedge duplicate?
         hedged: bool,
     },
@@ -81,18 +111,35 @@ pub enum OpAttribution {
         j: usize,
         /// 1-based attempt number.
         attempt: u32,
+        /// Executing backend code (see [`backend_label`]).
+        backend: u8,
         /// Speculative hedge duplicate?
         hedged: bool,
     },
-    /// The CPU fallback path.
+    /// The fallback re-route path.
     Fallback {
         /// Group index.
         gid: usize,
         /// Group-local member ordinal.
         j: usize,
+        /// Executing backend code (see [`backend_label`]).
+        backend: u8,
         /// Speculative hedge duplicate?
         hedged: bool,
     },
+}
+
+impl OpAttribution {
+    /// The backend code an op is attributed to ([`BACKEND_CONTROL`] for
+    /// control-plane ops). Every op resolves to exactly one backend.
+    pub fn backend(self) -> u8 {
+        match self {
+            OpAttribution::Control => BACKEND_CONTROL,
+            OpAttribution::Batch { backend, .. }
+            | OpAttribution::Retry { backend, .. }
+            | OpAttribution::Fallback { backend, .. } => backend,
+        }
+    }
 }
 
 /// Decodes an [`gpu_sim::Op::tag`] value.
@@ -100,16 +147,27 @@ pub fn decode_tag(tag: u64) -> OpAttribution {
     let gid = ((tag >> GID_SHIFT) & 0x0fff_ffff) as usize;
     let j = ((tag >> J_SHIFT) & 0xffff) as usize;
     let attempt = ((tag >> ATTEMPT_SHIFT) & 0xff) as u32;
+    let backend = ((tag >> BACKEND_SHIFT) & BACKEND_MASK) as u8;
     let hedged = tag & HEDGE_BIT != 0;
     match tag >> KIND_SHIFT {
-        KIND_BATCH => OpAttribution::Batch { gid, hedged },
+        KIND_BATCH => OpAttribution::Batch {
+            gid,
+            backend,
+            hedged,
+        },
         KIND_RETRY => OpAttribution::Retry {
             gid,
             j,
             attempt,
+            backend,
             hedged,
         },
-        KIND_FALLBACK => OpAttribution::Fallback { gid, j, hedged },
+        KIND_FALLBACK => OpAttribution::Fallback {
+            gid,
+            j,
+            backend,
+            hedged,
+        },
         _ => OpAttribution::Control,
     }
 }
@@ -404,6 +462,10 @@ pub fn build_span_tree(
                     "cat".to_string(),
                     op_category(&op.label, op.engine).to_string(),
                 ),
+                (
+                    "backend".to_string(),
+                    backend_label(decode_tag(op.tag).backend()).to_string(),
+                ),
                 ("stream".to_string(), op.stream.0.to_string()),
             ],
             op: Some(i),
@@ -635,39 +697,53 @@ mod tests {
     #[test]
     fn tags_round_trip() {
         assert_eq!(
-            decode_tag(tag_batch(7, false)),
+            decode_tag(tag_batch(7, BACKEND_GPU_SIM, false)),
             OpAttribution::Batch {
                 gid: 7,
+                backend: BACKEND_GPU_SIM,
                 hedged: false
             }
         );
         assert_eq!(
-            decode_tag(tag_retry(3, 2, 1, true)),
+            decode_tag(tag_retry(3, 2, 1, BACKEND_DENSE_FFT, true)),
             OpAttribution::Retry {
                 gid: 3,
                 j: 2,
                 attempt: 1,
+                backend: BACKEND_DENSE_FFT,
                 hedged: true
             }
         );
         assert_eq!(
-            decode_tag(tag_fallback(1, 4, false)),
+            decode_tag(tag_fallback(1, 4, BACKEND_SFFT_CPU, false)),
             OpAttribution::Fallback {
                 gid: 1,
                 j: 4,
+                backend: BACKEND_SFFT_CPU,
                 hedged: false
             }
         );
         assert_eq!(decode_tag(0), OpAttribution::Control);
+        assert_eq!(decode_tag(0).backend(), BACKEND_CONTROL);
+        assert_eq!(backend_label(BACKEND_GPU_SIM), "gpu_sim");
+        assert_eq!(backend_label(BACKEND_SFFT_CPU), "sfft_cpu");
+        assert_eq!(backend_label(BACKEND_DENSE_FFT), "dense_fft");
+        assert_eq!(backend_label(BACKEND_CONTROL), "control");
     }
 
     #[test]
     fn tree_covers_every_op_and_validates() {
         let ops = vec![
             op(0, 0, 0.0, "breaker:closed", 0),
-            op(1, 1, 1e-3, "exec", tag_batch(0, false)),
-            op(2, 1, 1e-4, "retry_backoff", tag_retry(0, 1, 1, false)),
-            op(3, 2, 2e-3, "exec", tag_batch(1, true)),
+            op(1, 1, 1e-3, "exec", tag_batch(0, BACKEND_GPU_SIM, false)),
+            op(
+                2,
+                1,
+                1e-4,
+                "retry_backoff",
+                tag_retry(0, 1, 1, BACKEND_GPU_SIM, false),
+            ),
+            op(3, 2, 2e-3, "exec", tag_batch(1, BACKEND_GPU_SIM, true)),
         ];
         let sched = schedule(&ops, 32);
         let groups = vec![GroupMeta {
@@ -714,7 +790,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_uncovered_ops() {
-        let ops = vec![op(0, 0, 1e-3, "exec", tag_batch(0, false))];
+        let ops = vec![op(0, 0, 1e-3, "exec", tag_batch(0, BACKEND_GPU_SIM, false))];
         let sched = schedule(&ops, 32);
         let tree = build_span_tree(&ops, &sched, &[], &[]);
         assert!(tree.validate(2).is_err()); // op 1 never appeared

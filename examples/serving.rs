@@ -23,12 +23,7 @@ fn main() {
         .map(|i| {
             let (n, k) = geometries[i % geometries.len()];
             let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, 90 + i as u64);
-            ServeRequest {
-                time: s.time,
-                k,
-                variant: Variant::Optimized,
-                seed: 5 * i as u64 + 1,
-            }
+            ServeRequest::new(s.time, k, Variant::Optimized, 5 * i as u64 + 1)
         })
         .collect();
     println!(
@@ -107,12 +102,7 @@ fn main() {
         .map(|i| {
             let (n, k) = geometries[i % geometries.len()];
             let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, 400 + i as u64);
-            let req = ServeRequest {
-                time: s.time,
-                k,
-                variant: Variant::Optimized,
-                seed: 11 * i as u64 + 2,
-            };
+            let req = ServeRequest::new(s.time, k, Variant::Optimized, 11 * i as u64 + 2);
             let t = TimedRequest::at(req, 0.0);
             if i % 6 == 5 {
                 t.with_deadline(0.0) // cannot be met: service takes time

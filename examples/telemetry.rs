@@ -25,12 +25,7 @@ fn main() {
         .map(|i| {
             let (n, k) = geometries[i % geometries.len()];
             let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, 700 + i as u64);
-            let req = ServeRequest {
-                time: s.time,
-                k,
-                variant: Variant::Optimized,
-                seed: 13 * i as u64 + 5,
-            };
+            let req = ServeRequest::new(s.time, k, Variant::Optimized, 13 * i as u64 + 5);
             let t = TimedRequest::at(req, 0.0);
             if i % 6 == 5 {
                 t.with_deadline(0.0) // cannot be met: service takes time

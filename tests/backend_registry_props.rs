@@ -1,0 +1,110 @@
+//! Property tests for the backend registry (DESIGN.md §12): the
+//! wasi-nn-shaped fixed-slot registry must be idempotent under
+//! re-registration (first wins), total for registered kinds, and hand
+//! back deterministic capability reports.
+
+use std::sync::Arc;
+
+use cusfft::{
+    Backend, BackendKind, BackendRegistry, DenseFftBackend, GpuSimBackend, SfftCpuBackend,
+};
+use proptest::prelude::*;
+
+fn stock(kind: BackendKind) -> Arc<dyn Backend> {
+    match kind {
+        BackendKind::GpuSim => Arc::new(GpuSimBackend),
+        BackendKind::SfftCpu => Arc::new(SfftCpuBackend),
+        BackendKind::DenseFft => Arc::new(DenseFftBackend),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Registration is idempotent with first-wins semantics: over an
+    /// arbitrary registration sequence, the first `register` for a kind
+    /// returns true, every later one returns false, and lookups keep
+    /// returning the *first* instance registered for that kind.
+    #[test]
+    fn registration_is_idempotent_and_first_wins(
+        sequence in prop::collection::vec(0usize..3, 0..12),
+    ) {
+        let mut registry = BackendRegistry::empty();
+        let mut first: [Option<Arc<dyn Backend>>; 3] = [None, None, None];
+        for &sel in &sequence {
+            let kind = BackendKind::all()[sel];
+            let backend = stock(kind);
+            let inserted = registry.register(Arc::clone(&backend));
+            match &first[sel] {
+                None => {
+                    prop_assert!(inserted, "{}: empty slot accepts", kind.label());
+                    first[sel] = Some(backend);
+                }
+                Some(original) => {
+                    prop_assert!(!inserted, "{}: occupied slot refuses", kind.label());
+                    let held = registry.get(kind).expect("registered kind resolves");
+                    prop_assert!(
+                        Arc::ptr_eq(held, original),
+                        "{}: the first registration must keep winning",
+                        kind.label()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Lookup is total exactly over the registered kinds: `get` is Some
+    /// iff the kind appeared in the registration sequence, and `kinds()`
+    /// lists exactly those, in slot order.
+    #[test]
+    fn lookup_is_total_for_registered_kinds(
+        sequence in prop::collection::vec(0usize..3, 0..12),
+    ) {
+        let mut registry = BackendRegistry::empty();
+        for &sel in &sequence {
+            registry.register(stock(BackendKind::all()[sel]));
+        }
+        let expected: Vec<BackendKind> = BackendKind::all()
+            .into_iter()
+            .filter(|k| sequence.iter().any(|&s| BackendKind::all()[s] == *k))
+            .collect();
+        for kind in BackendKind::all() {
+            prop_assert_eq!(
+                registry.get(kind).is_some(),
+                expected.contains(&kind),
+                "{} lookup totality", kind.label()
+            );
+        }
+        prop_assert_eq!(registry.kinds(), expected);
+    }
+
+    /// Capability reports are deterministic: repeated calls on the same
+    /// registered backend, and calls on fresh instances of the same
+    /// backend type, all return the same report.
+    #[test]
+    fn capability_reports_are_deterministic(sel in 0usize..3, repeats in 1usize..6) {
+        let kind = BackendKind::all()[sel];
+        let mut registry = BackendRegistry::empty();
+        registry.register(stock(kind));
+        let held = registry.get(kind).expect("registered kind resolves");
+        let first = held.capabilities();
+        prop_assert_eq!(first.kind, kind, "caps name their backend");
+        for _ in 0..repeats {
+            prop_assert_eq!(held.capabilities(), first.clone(), "stable across calls");
+        }
+        prop_assert_eq!(
+            stock(kind).capabilities(),
+            first,
+            "stable across instances"
+        );
+    }
+}
+
+/// The default registry is the three stock backends, and `kinds()`
+/// reports them in slot order.
+#[test]
+fn default_registry_lists_all_kinds_in_slot_order() {
+    let registry = BackendRegistry::with_defaults();
+    assert_eq!(registry.kinds(), BackendKind::all().to_vec());
+    assert_eq!(BackendRegistry::default().kinds(), registry.kinds());
+}

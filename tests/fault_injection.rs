@@ -12,14 +12,16 @@
 //!    tallies are a pure function of `(requests, config, fault seed)`,
 //!    invariant under the serve worker count and the host pool width;
 //!    the merged timeline is bit-identical across pool widths and reruns.
-//! 3. **Persistent faults degrade, never fail** — with every device op
-//!    faulting, a whole batch still completes via the CPU path, with the
-//!    counters to prove the recovery machinery ran.
+//! 3. **Persistent faults re-route, never fail** — with every device op
+//!    faulting, a whole batch still completes by re-routing onto the
+//!    `SfftCpu` backend, producing the same spectra a fault-free serve
+//!    explicitly addressed to that backend returns, with the counters to
+//!    prove the recovery machinery ran.
 //!
 //! The fault seed honours `CUSFFT_FAULT_SEED` so CI can sweep a matrix of
 //! seeds over the same assertions.
 
-use cusfft::{ServeConfig, ServeEngine, ServePath, ServeRequest, ServeReport, Variant};
+use cusfft::{BackendKind, ServeConfig, ServeEngine, ServePath, ServeReport, ServeRequest, Variant};
 use gpu_sim::{DeviceSpec, FaultConfig, GpuDevice, GpuError, DEFAULT_STREAM};
 use proptest::prelude::*;
 use signal::{MagnitudeModel, SparseSignal};
@@ -43,12 +45,7 @@ fn batch(len: usize) -> Vec<ServeRequest> {
         .map(|i| {
             let (n, k, variant) = geometries[i % geometries.len()];
             let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, 2000 + i as u64);
-            ServeRequest {
-                time: s.time,
-                k,
-                variant,
-                seed: 17 * i as u64 + 3,
-            }
+            ServeRequest::new(s.time, k, variant, 17 * i as u64 + 3)
         })
         .collect()
 }
@@ -148,31 +145,54 @@ fn fault_outcomes_invariant_across_workers_and_pools() {
 }
 
 /// Contract 3: a device where *every* op faults still serves the whole
-/// batch — each request burns its retries and degrades to the CPU
-/// reference path, with the counters accounting for every step.
+/// batch — each request burns its retries and is re-routed onto the
+/// `SfftCpu` backend, with the counters accounting for every step. The
+/// re-route is ordinary backend selection: the spectra match a
+/// fault-free serve that addresses the `SfftCpu` backend explicitly.
 #[test]
-fn persistent_faults_degrade_whole_batch_to_cpu() {
+fn persistent_faults_reroute_batch_to_cpu_backend() {
     let reqs = batch(16);
     let fc = FaultConfig::persistent(fault_seed());
     let reference = engine(1, Some(fc)).serve_batch(&reqs);
+
+    // What the CPU backend computes when asked for by name, no faults.
+    let cpu_reqs: Vec<ServeRequest> = reqs
+        .iter()
+        .cloned()
+        .map(|r| r.with_backend(BackendKind::SfftCpu))
+        .collect();
+    let cpu_direct = engine(1, None).serve_batch(&cpu_reqs);
 
     assert_eq!(reference.outcomes.len(), 16);
     for (i, outcome) in reference.outcomes.iter().enumerate() {
         let resp = outcome
             .response()
-            .unwrap_or_else(|| panic!("request {i} must complete via CPU fallback"));
+            .unwrap_or_else(|| panic!("request {i} must complete via backend re-route"));
         assert_eq!(resp.path, ServePath::Cpu, "request {i}");
+        assert_eq!(
+            resp.backend,
+            BackendKind::SfftCpu,
+            "request {i} must report the backend that actually served it"
+        );
         assert!(!resp.recovered.is_empty(), "request {i} recovered a spectrum");
+        let direct = cpu_direct.outcomes[i]
+            .response()
+            .expect("explicit CPU-backend serving completes");
+        assert_eq!(
+            resp.recovered, direct.recovered,
+            "request {i}: re-routed spectrum must equal the explicit SfftCpu backend's"
+        );
     }
     let t = reference.faults;
-    assert_eq!(t.cpu_fallbacks, 16, "every request degraded");
+    assert_eq!(t.cpu_fallbacks, 16, "every request re-routed");
     assert_eq!(t.evictions, 16, "every request was evicted from its group");
-    assert!(t.retries > 0, "retries were attempted before degrading");
+    assert!(t.retries > 0, "retries were attempted before re-routing");
     assert!(t.injected > 0, "faults were recorded");
     assert_eq!(t.failed, 0, "no request terminally failed");
 
     // Worker-count invariance and rerun timeline reproducibility hold
-    // even in the all-faulting regime.
+    // even in the all-faulting regime: outcomes and fault tallies are
+    // bit-identical whether 1 or 4 workers drained the batch.
     let wide = engine(4, Some(fc)).serve_batch(&reqs);
     assert_eq!(wide.outcomes, reference.outcomes);
     assert_eq!(wide.faults, reference.faults);

@@ -129,12 +129,7 @@ fn batch() -> Vec<ServeRequest> {
         .map(|i| {
             let (n, k) = geometries[i % geometries.len()];
             let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, 500 + i as u64);
-            ServeRequest {
-                time: s.time,
-                k,
-                variant: Variant::Optimized,
-                seed: 13 * i as u64 + 1,
-            }
+            ServeRequest::new(s.time, k, Variant::Optimized, 13 * i as u64 + 1)
         })
         .collect()
 }

@@ -25,12 +25,7 @@ fn mixed_batch(len: usize) -> Vec<ServeRequest> {
         .map(|i| {
             let (n, k, variant) = geometries[i % geometries.len()];
             let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, 1000 + i as u64);
-            ServeRequest {
-                time: s.time,
-                k,
-                variant,
-                seed: 31 * i as u64 + 7,
-            }
+            ServeRequest::new(s.time, k, variant, 31 * i as u64 + 7)
         })
         .collect()
 }

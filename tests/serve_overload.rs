@@ -43,12 +43,7 @@ fn fault_seed() -> u64 {
 
 fn request(n: usize, k: usize, variant: Variant, sig_seed: u64, seed: u64) -> ServeRequest {
     let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, sig_seed);
-    ServeRequest {
-        time: s.time,
-        k,
-        variant,
-        seed,
-    }
+    ServeRequest::new(s.time, k, variant, seed)
 }
 
 /// A mixed-geometry batch exercising several plan groups and both tiers.

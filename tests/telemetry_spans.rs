@@ -33,12 +33,7 @@ fn fault_seed() -> u64 {
 
 fn request(n: usize, k: usize, variant: Variant, sig_seed: u64, seed: u64) -> ServeRequest {
     let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, sig_seed);
-    ServeRequest {
-        time: s.time,
-        k,
-        variant,
-        seed,
-    }
+    ServeRequest::new(s.time, k, variant, seed)
 }
 
 /// The stress workload: mixed geometries arriving at t = 0 under a tight
@@ -211,6 +206,61 @@ fn telemetry_is_invariant_across_workers_and_pools() {
             base_trace,
             observe::chrome_trace_json(&report),
             "chrome trace, workers={workers} pool={pool}"
+        );
+    }
+}
+
+/// Backend attribution: every leaf span (device op or host phase) on
+/// the merged timeline resolves to exactly one backend — a single
+/// `backend` attribute whose value is a known backend label (control
+/// ops attribute to `control`). Group spans name the backend too.
+#[test]
+fn every_leaf_span_resolves_to_exactly_one_backend() {
+    let report = stress_report(2);
+    let tree = observe::span_tree(&report);
+    let known = ["control", "gpu_sim", "sfft_cpu", "dense_fft"];
+    let mut leaves = 0usize;
+    for s in &tree.spans {
+        if s.kind != SpanKind::Op && s.kind != SpanKind::HostPhase {
+            continue;
+        }
+        leaves += 1;
+        let backends: Vec<_> = s
+            .attrs
+            .iter()
+            .filter(|(k, _)| k == "backend")
+            .map(|(_, v)| v.as_str())
+            .collect();
+        assert_eq!(
+            backends.len(),
+            1,
+            "leaf span {:?} must carry exactly one backend attribute, got {backends:?}",
+            s.name
+        );
+        assert!(
+            known.contains(&backends[0]),
+            "leaf span {:?} resolves to unknown backend {:?}",
+            s.name,
+            backends[0]
+        );
+    }
+    assert_eq!(leaves, report.timeline.ops.len(), "one leaf per op");
+    // The workload runs on the default backend, so device-attributed
+    // work must show up as gpu_sim leaves.
+    assert!(
+        tree.spans
+            .iter()
+            .any(|s| s.attrs.iter().any(|(k, v)| k == "backend" && v == "gpu_sim")),
+        "gpu_sim work must be attributed"
+    );
+    // Every group span names its backend.
+    for s in tree.spans.iter().filter(|s| s.kind == SpanKind::Group) {
+        assert!(
+            s.attrs
+                .iter()
+                .any(|(k, v)| k == "backend" && known.contains(&v.as_str())),
+            "group span {:?} must name its backend",
+            s.name
         );
     }
 }

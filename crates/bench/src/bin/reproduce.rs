@@ -18,6 +18,9 @@
 //!             backend vs the dense oracle (explicit-only)
 //!   hostperf  host execution engine: wall time vs pool width
 //!             (explicit-only — sweeps to n = 2^24; `--smoke` shrinks it)
+//!   throughput  served throughput + modeled DRAM transactions, direct
+//!             vs tiled remap on the allocation-free hot path
+//!             (explicit-only — `--smoke` for the CI profile)
 //!   all       everything above except the explicit-only targets (default)
 //! ```
 //!
@@ -59,7 +62,7 @@ fn parse_args() -> Opts {
             }
             "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
             "--help" | "-h" => {
-                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve backends hostperf overload trace all");
+                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve backends hostperf overload trace throughput all");
                 println!("flags:   --full (paper-scale sweep)  --smoke (tiny CI sizes)  --k K  --out DIR");
                 std::process::exit(0);
             }
@@ -170,6 +173,92 @@ fn main() {
     // other extensions (--smoke for the small CI profile).
     if opts.target == "backends" {
         backends(&opts, seed);
+    }
+    // throughput compares served throughput and modeled DRAM
+    // transactions between the direct and tiled remap flavours on the
+    // allocation-free serving path; explicit-only (--smoke for CI).
+    if opts.target == "throughput" {
+        throughput(&opts, seed);
+    }
+}
+
+/// Extension: allocation-free steady-state serving — the same batch
+/// served with the remap flavour pinned to direct (the PR baseline)
+/// and tiled (the shared-memory tiling), with the layout-transform
+/// step's modeled DRAM transactions and the arena/`MemPool` traffic
+/// that shows warmup-only allocation. Emits
+/// `BENCH_serve_throughput.json`.
+fn throughput(opts: &Opts, seed: u64) {
+    let (log2_n, k, batch): (u32, usize, usize) = if opts.smoke {
+        (12, 8, 12)
+    } else {
+        (14, 16, 32)
+    };
+    eprintln!("[throughput] n = 2^{log2_n}, k = {k}, batch = {batch}");
+
+    let rows = bench::throughput_sweep(log2_n, k, batch, seed);
+    let mut t = Table::new(
+        &format!("Serve throughput: direct vs tiled remap, batch of {batch}, n≈2^{log2_n}, k={k} (simulated)"),
+        &["remap", "makespan", "req/s", "perm txns", "total txns", "pool alloc", "pool release", "arena hits", "arena misses"],
+    );
+    for p in &rows {
+        t.row(vec![
+            p.remap.to_string(),
+            fmt_secs(p.makespan),
+            format!("{:.0}", p.throughput),
+            format!("{:.0}", p.perm_txns),
+            format!("{:.0}", p.total_txns),
+            p.pool_alloc_ops.to_string(),
+            p.pool_release_ops.to_string(),
+            p.arena_reuse_hits.to_string(),
+            p.arena_fresh_misses.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "throughput");
+    if let (Some(d), Some(ti)) = (
+        rows.iter().find(|p| p.remap == "direct"),
+        rows.iter().find(|p| p.remap == "tiled"),
+    ) {
+        println!(
+            "tiled remap: {} on the layout-transform step's modeled DRAM transactions \
+             ({:.0} -> {:.0}), throughput {}",
+            fmt_ratio(d.perm_txns / ti.perm_txns.max(1.0)),
+            d.perm_txns,
+            ti.perm_txns,
+            fmt_ratio(ti.throughput / d.throughput),
+        );
+    }
+
+    // Hand-rolled JSON (no serde_json in the vendored set).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!(
+        "  \"config\": {{\"log2_n\": {log2_n}, \"k\": {k}, \"batch\": {batch}}},\n"
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"remap\": \"{}\", \"requests\": {}, \"makespan_ms\": {:.3}, \"throughput\": {:.3}, \"perm_step_transactions\": {:.0}, \"total_transactions\": {:.0}, \"pool_alloc_ops\": {}, \"pool_release_ops\": {}, \"arena_reuse_hits\": {}, \"arena_fresh_misses\": {}}}{}\n",
+            p.remap,
+            p.requests,
+            p.makespan * 1e3,
+            p.throughput,
+            p.perm_txns,
+            p.total_txns,
+            p.pool_alloc_ops,
+            p.pool_release_ops,
+            p.arena_reuse_hits,
+            p.arena_fresh_misses,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let _ = std::fs::create_dir_all(&opts.out);
+    let path = opts.out.join("BENCH_serve_throughput.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }
 

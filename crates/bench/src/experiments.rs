@@ -602,6 +602,86 @@ pub fn serve_sweep(
         .collect()
 }
 
+/// One row of the steady-state throughput experiment: the same batch
+/// served through the allocation-free hot path with the remap flavour
+/// pinned, plus the telemetry that justifies the tiling choice — the
+/// layout-transform step's rolled-up modeled DRAM transactions and the
+/// arena/`MemPool` traffic of the whole call.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Remap flavour label (`"direct"` or `"tiled"`).
+    pub remap: &'static str,
+    pub requests: usize,
+    /// Simulated makespan of the merged multi-stream timeline.
+    pub makespan: f64,
+    /// Requests per simulated second.
+    pub throughput: f64,
+    /// Modeled DRAM transactions of the layout-transform step (the
+    /// remap staging kernel plus the bucket execution kernel it feeds).
+    pub perm_txns: f64,
+    /// Modeled DRAM transactions over every kernel of the call.
+    pub total_txns: f64,
+    /// Tracked `MemPool` allocations — per-group warmup cost only; the
+    /// steady state adds nothing (pinned by `tests/steady_state_alloc`).
+    pub pool_alloc_ops: u64,
+    /// Tracked `MemPool` releases (group-end arena resets).
+    pub pool_release_ops: u64,
+    /// Arena acquisitions satisfied from a free list.
+    pub arena_reuse_hits: u64,
+    /// Arena acquisitions that fell through to a fresh allocation.
+    pub arena_fresh_misses: u64,
+}
+
+/// Serves the standard batch twice — direct remap, then tiled — through
+/// engines whose GPU backend pins the flavour, and reads throughput,
+/// transaction and pool counters off the reports' telemetry rollups.
+/// Spectra are bit-identical between the two rows (pinned by
+/// `tests/remap_differential`); only the modeled cost moves.
+pub fn throughput_sweep(log2_n: u32, k: usize, batch: usize, seed: u64) -> Vec<ThroughputPoint> {
+    use cusfft::{BackendRegistry, GpuSimBackend, RemapKind, SfftCpuBackend};
+
+    let requests = serve_requests(log2_n, k, batch, seed);
+    let step = ["remap", "remap_tiled", "exec", "exec_tiled"];
+    [("direct", RemapKind::Direct), ("tiled", RemapKind::Tiled)]
+        .iter()
+        .map(|&(label, kind)| {
+            let mut registry = BackendRegistry::empty();
+            registry.register(Arc::new(GpuSimBackend { remap: Some(kind) }));
+            registry.register(Arc::new(SfftCpuBackend));
+            let engine = cusfft::ServeEngine::with_registry(
+                DeviceSpec::tesla_k20x(),
+                cusfft::ServeConfig {
+                    workers: 2,
+                    cache_capacity: 8,
+                    ..cusfft::ServeConfig::default()
+                },
+                registry,
+            );
+            let report = engine.serve_batch(&requests);
+            let mut perm_txns = 0.0;
+            let mut total_txns = 0.0;
+            for kr in &report.kernels {
+                total_txns += kr.transactions;
+                if step.contains(&kr.name.as_str()) {
+                    perm_txns += kr.transactions;
+                }
+            }
+            ThroughputPoint {
+                remap: label,
+                requests: requests.len(),
+                makespan: report.makespan,
+                throughput: report.throughput,
+                perm_txns,
+                total_txns,
+                pool_alloc_ops: report.pool.alloc_ops,
+                pool_release_ops: report.pool.release_ops,
+                arena_reuse_hits: report.pool.reuse_hits,
+                arena_fresh_misses: report.pool.fresh_misses,
+            }
+        })
+        .collect()
+}
+
 /// One row of the overload experiment: a paced trace at `offered_load`×
 /// nominal capacity pushed through [`cusfft::ServeEngine::serve_overload`]
 /// under a deterministic fault plan.

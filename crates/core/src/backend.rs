@@ -47,13 +47,14 @@ use std::any::Any;
 use std::sync::Arc;
 
 use fft::cplx::Cplx;
-use gpu_sim::{transfer_time, DeviceSpec, FaultConfig, GpuDevice, StreamId};
+use gpu_sim::{transfer_time, DeviceBuffer, DeviceSpec, FaultConfig, GpuDevice, StreamId};
 use sfft_cpu::{SfftParams, Tuning};
 use signal::Recovered;
 
 use crate::cufft::cufft_model_time;
 use crate::error::CusFftError;
-use crate::pipeline::{CusFft, ExecStreams, PreparedRequest, Variant};
+use crate::perm_filter::RemapKind;
+use crate::pipeline::{ComputedRequest, CusFft, ExecStreams, PreparedRequest, Variant};
 use crate::plan_cache::{PlanKey, ServeQos};
 
 /// The fixed set of execution backends a request can be routed to.
@@ -183,6 +184,44 @@ pub trait ExecutePlan: Send + Sync {
         prep: &PreparedState,
         streams: &ExecStreams,
     ) -> Result<(Recovered, usize), CusFftError>;
+    /// Pre-sizes per-worker scratch pools for a group of `group_size`
+    /// same-shape requests, so steady-state acquisitions are free-list
+    /// hits with zero `MemPool` traffic. Host backends (and backends
+    /// without pooled scratch) need nothing.
+    fn warm(
+        &self,
+        _device: &GpuDevice,
+        _streams: &ExecStreams,
+        _group_size: usize,
+    ) -> Result<(), CusFftError> {
+        Ok(())
+    }
+    /// Charges one aggregated host-to-device staging transfer for the
+    /// group's combined signal payload of `bytes`, instead of paying
+    /// per-request PCIe latency. Host backends transfer nothing.
+    fn stage_group(
+        &self,
+        _device: &GpuDevice,
+        _bytes: usize,
+        _stream: StreamId,
+    ) -> Result<(), CusFftError> {
+        Ok(())
+    }
+    /// Back half over every surviving request of a group, letting the
+    /// backend aggregate device-to-host transfers. Returns one result
+    /// per entry of `preps`, in order. The default finishes requests
+    /// one at a time.
+    fn finish_group(
+        &self,
+        device: &GpuDevice,
+        preps: &[&PreparedState],
+        streams: &ExecStreams,
+    ) -> Vec<Result<(Recovered, usize), CusFftError>> {
+        preps
+            .iter()
+            .map(|p| self.finish(device, p, streams))
+            .collect()
+    }
 }
 
 /// An execution backend: builds [`ExecutePlan`]s for plan keys and
@@ -220,16 +259,22 @@ fn params_for(key: PlanKey) -> Arc<SfftParams> {
 // ---------------------------------------------------------------------
 
 /// The cusFFT pipeline on the simulated device — the current (and
-/// default) serving path, with op sequences unchanged from the
-/// pre-registry engine.
+/// default) serving path.
 #[derive(Debug, Default, Clone, Copy)]
-pub struct GpuSimBackend;
+pub struct GpuSimBackend {
+    /// Forces the permutation remap kernel for plans this backend
+    /// builds. `None` (the default) lets each plan pick by modeled
+    /// DRAM-transaction count (see `choose_remap`); the differential
+    /// suite pins both forced variants bit-identical.
+    pub remap: Option<RemapKind>,
+}
 
 /// Prepared state of the GPU path: the device-resident signal (kept
-/// alive so its memory reservation spans the whole attempt, exactly as
-/// before the registry refactor) plus the filtered bucket buffers.
+/// alive so its memory reservation spans the whole attempt) plus the
+/// filtered bucket buffers. The signal is drawn from the worker arena,
+/// so in steady state its upload is a free-list hit.
 struct GpuPrepared {
-    _signal: gpu_sim::DeviceBuffer<Cplx>,
+    _signal: gpu_sim::PooledBuffer<Cplx>,
     prep: PreparedRequest,
 }
 
@@ -257,10 +302,9 @@ impl ExecutePlan for CusFft {
         seed: u64,
         streams: &ExecStreams,
     ) -> Result<PreparedState, CusFftError> {
-        // Signal upload first (PCIe charged + memory reserved), then the
-        // front half — the same op order the serving layer used when it
-        // uploaded signals itself.
-        let signal = device.try_resident(time, streams.main)?;
+        // Signal upload first (memory reserved; the PCIe cost is charged
+        // group-wide by `stage_group`), then the front half.
+        let signal = device.try_resident_pooled(&streams.arena.cplx, time, streams.main)?;
         let prep = CusFft::prepare(self, device, &signal, seed, streams)?;
         Ok(PreparedState::new(GpuPrepared {
             _signal: signal,
@@ -289,6 +333,91 @@ impl ExecutePlan for CusFft {
     ) -> Result<(Recovered, usize), CusFftError> {
         CusFft::finish(self, device, &prep.downcast_ref::<GpuPrepared>().prep, streams)
     }
+
+    fn warm(
+        &self,
+        device: &GpuDevice,
+        streams: &ExecStreams,
+        group_size: usize,
+    ) -> Result<(), CusFftError> {
+        CusFft::warm_arena(self, device, streams, group_size)
+    }
+
+    fn stage_group(
+        &self,
+        device: &GpuDevice,
+        bytes: usize,
+        stream: StreamId,
+    ) -> Result<(), CusFftError> {
+        device.try_charge_htod("htod_group", bytes, stream)?;
+        Ok(())
+    }
+
+    fn finish_group(
+        &self,
+        device: &GpuDevice,
+        preps: &[&PreparedState],
+        streams: &ExecStreams,
+    ) -> Vec<Result<(Recovered, usize), CusFftError>> {
+        // Per-request device compute first; then the two result
+        // transfers (hit indices + values) are concatenated across the
+        // group and copied back as one D2H pair, replacing per-request
+        // PCIe round-trips.
+        let computed: Vec<Result<ComputedRequest, CusFftError>> = preps
+            .iter()
+            .map(|p| {
+                CusFft::finish_compute(
+                    self,
+                    device,
+                    &p.downcast_ref::<GpuPrepared>().prep,
+                    streams,
+                )
+            })
+            .collect();
+        // Per-constituent buffers through a grouped transfer: PCIe is
+        // charged once for the aggregate, but fault/corruption gates
+        // roll per request — batching must not launder SDC exposure.
+        let survivors: Vec<&ComputedRequest> = computed.iter().flatten().collect();
+        let hits_bufs: Vec<&DeviceBuffer<u32>> =
+            survivors.iter().map(|fc| &fc.hits_buf).collect();
+        let vals_bufs: Vec<DeviceBuffer<Cplx>> = survivors
+            .iter()
+            .map(|fc| DeviceBuffer::from_host(&fc.vals))
+            .collect();
+        let vals_refs: Vec<&DeviceBuffer<Cplx>> = vals_bufs.iter().collect();
+        let vals_host = device
+            .try_dtoh_group(&hits_bufs, streams.main)
+            .and_then(|_| device.try_dtoh_group(&vals_refs, streams.main));
+        let vals_host = match vals_host {
+            Ok(v) => v,
+            Err(e) => {
+                // A group-wide transfer failure fails every request
+                // whose compute survived; compute failures keep their
+                // own (earlier) error.
+                let e: CusFftError = e.into();
+                return computed
+                    .into_iter()
+                    .map(|fc| fc.and(Err(e.clone())))
+                    .collect();
+            }
+        };
+        let mut per_req = vals_host.into_iter();
+        computed
+            .into_iter()
+            .zip(preps.iter())
+            .map(|(fc, p)| {
+                let fc = fc?;
+                let vals = per_req.next().expect("one transfer per survivor");
+                CusFft::finish_resolve(
+                    self,
+                    device,
+                    &p.downcast_ref::<GpuPrepared>().prep,
+                    &fc.hits,
+                    vals,
+                )
+            })
+            .collect()
+    }
 }
 
 impl Backend for GpuSimBackend {
@@ -307,7 +436,11 @@ impl Backend for GpuSimBackend {
     }
 
     fn build_plan(&self, device: &Arc<GpuDevice>, key: PlanKey) -> Arc<dyn ExecutePlan> {
-        Arc::new(CusFft::new(Arc::clone(device), params_for(key), key.variant))
+        let mut plan = CusFft::new(Arc::clone(device), params_for(key), key.variant);
+        if let Some(kind) = self.remap {
+            plan = plan.with_remap(kind);
+        }
+        Arc::new(plan)
     }
 
     fn estimate_cost(&self, model_dev: &GpuDevice, spec: &DeviceSpec, p: &SfftParams) -> f64 {
@@ -588,7 +721,7 @@ impl BackendRegistry {
     /// A registry with all three stock backends registered.
     pub fn with_defaults() -> Self {
         let mut r = Self::empty();
-        r.register(Arc::new(GpuSimBackend));
+        r.register(Arc::new(GpuSimBackend::default()));
         r.register(Arc::new(SfftCpuBackend));
         r.register(Arc::new(DenseFftBackend));
         r
@@ -719,7 +852,7 @@ mod tests {
         let small = SfftParams::tuned(1 << 10, 4);
         let large = SfftParams::tuned(1 << 14, 16);
         for backend in [
-            Arc::new(GpuSimBackend) as Arc<dyn Backend>,
+            Arc::new(GpuSimBackend::default()) as Arc<dyn Backend>,
             Arc::new(SfftCpuBackend),
             Arc::new(DenseFftBackend),
         ] {

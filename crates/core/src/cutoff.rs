@@ -2,9 +2,27 @@
 //! the optimized fast k-selection (Algorithm 6).
 
 use fft::cplx::Cplx;
-use gpu_sim::{DevAtomicU32, DeviceBuffer, GpuDevice, GpuError, LaunchConfig, StreamId};
+use gpu_sim::{
+    BufferPool, DevAtomicU32, DeviceBuffer, GpuDevice, GpuError, LaunchConfig, PooledBuffer,
+    StreamId,
+};
 
 const BLOCK: u32 = 256;
+
+/// The `|Z[b]|²` kernel both cutoff variants share.
+fn magnitude_kernel(
+    device: &GpuDevice,
+    buckets: &DeviceBuffer<Cplx>,
+    mags: &mut DeviceBuffer<f64>,
+    stream: StreamId,
+) -> Result<(), GpuError> {
+    let cfg = LaunchConfig::for_elements(buckets.len(), BLOCK);
+    device.try_launch_map("magnitude", cfg, stream, mags, |ctx, gm| {
+        let z = gm.ld(buckets, ctx.global_id());
+        gm.flops(3);
+        z.norm_sqr()
+    })
+}
 
 /// Computes `|Z[b]|²` on the device (the magnitude kernel both cutoff
 /// variants share) and returns the device buffer. Fails with a typed
@@ -14,14 +32,22 @@ pub fn magnitudes_device(
     buckets: &DeviceBuffer<Cplx>,
     stream: StreamId,
 ) -> Result<DeviceBuffer<f64>, GpuError> {
-    let b = buckets.len();
-    let mut mags: DeviceBuffer<f64> = device.try_alloc_zeroed(b, stream)?;
-    let cfg = LaunchConfig::for_elements(b, BLOCK);
-    device.try_launch_map("magnitude", cfg, stream, &mut mags, |ctx, gm| {
-        let z = gm.ld(buckets, ctx.global_id());
-        gm.flops(3);
-        z.norm_sqr()
-    })?;
+    let mut mags: DeviceBuffer<f64> = device.try_alloc_zeroed(buckets.len(), stream)?;
+    magnitude_kernel(device, buckets, &mut mags, stream)?;
+    Ok(mags)
+}
+
+/// [`magnitudes_device`] with the output buffer drawn from a pool: in
+/// steady state (a pooled buffer of the right length is idle) this costs
+/// no `MemPool` traffic and rolls no allocation fault gate.
+pub fn magnitudes_device_pooled(
+    device: &GpuDevice,
+    pool: &BufferPool<f64>,
+    buckets: &DeviceBuffer<Cplx>,
+    stream: StreamId,
+) -> Result<PooledBuffer<f64>, GpuError> {
+    let mut mags = device.try_alloc_zeroed_pooled(pool, buckets.len(), stream)?;
+    magnitude_kernel(device, buckets, &mut mags, stream)?;
     Ok(mags)
 }
 

@@ -53,6 +53,7 @@
 //! println!("simulated device time: {:.3} ms", out.sim_time * 1e3);
 //! ```
 
+pub mod arena;
 pub mod backend;
 pub mod comb;
 pub mod cufft;
@@ -68,6 +69,7 @@ pub mod reconstruct;
 pub mod report;
 pub mod serve;
 
+pub use arena::{ArenaStats, ExecArena};
 pub use backend::{
     execute_direct, Backend, BackendCaps, BackendKind, BackendRegistry, DenseFftBackend,
     ExecutePlan, GpuSimBackend, SfftCpuBackend,
@@ -75,12 +77,13 @@ pub use backend::{
 pub use cufft::{batched_fft_device, batched_fft_rows, cufft_dense_baseline, cufft_model_time};
 pub use error::CusFftError;
 pub use overload::{nominal_service, LatencyStats, OverloadConfig, OverloadTally, TimedRequest};
+pub use perm_filter::{choose_remap, chunk_plan, ChunkPlan, RemapChoice, RemapKind};
 pub use pipeline::{
     residual_tolerance, CusFft, CusFftOutput, ExecStreams, HostPhaseWalls, Variant,
 };
 pub use plan_cache::{CacheStats, PlanCache, PlanKey, ServeQos};
 pub use report::StepBreakdown;
 pub use serve::{
-    FaultTally, GroupInfo, PathLatency, RequestOutcome, ServeConfig, ServeEngine, ServePath,
-    ServeReport, ServeRequest, ServeResponse, ServeTimeline,
+    FaultTally, GroupInfo, KernelRollup, PathLatency, PoolTally, RequestOutcome, ServeConfig,
+    ServeEngine, ServePath, ServeReport, ServeRequest, ServeResponse, ServeTimeline,
 };

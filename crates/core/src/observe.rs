@@ -308,6 +308,58 @@ pub fn metrics_registry(report: &ServeReport) -> Registry {
         );
     }
 
+    // Per-kernel modeled execution totals.
+    for kr in &report.kernels {
+        r.counter_add(
+            "cusfft_kernel_launches_total",
+            "Kernel/transfer launches by name",
+            &[("kernel", &kr.name)],
+            kr.launches,
+        );
+        r.gauge_set(
+            "cusfft_kernel_transactions_total",
+            "Summed modeled DRAM transactions by kernel",
+            &[("kernel", &kr.name)],
+            kr.transactions,
+        );
+        r.gauge_set(
+            "cusfft_kernel_dram_bytes_total",
+            "Summed modeled DRAM bytes by kernel",
+            &[("kernel", &kr.name)],
+            kr.dram_bytes,
+        );
+    }
+
+    // Device memory-pool and arena traffic. In steady state the alloc
+    // counter stays at each group's warmup cost; per-request traffic is
+    // pure reuse.
+    let pool_help = "Tracked MemPool operations";
+    r.counter_add(
+        "cusfft_pool_ops_total",
+        pool_help,
+        &[("op", "alloc")],
+        report.pool.alloc_ops,
+    );
+    r.counter_add(
+        "cusfft_pool_ops_total",
+        pool_help,
+        &[("op", "release")],
+        report.pool.release_ops,
+    );
+    let arena_help = "Arena buffer acquisitions by result";
+    r.counter_add(
+        "cusfft_pool_requests_total",
+        arena_help,
+        &[("result", "hit")],
+        report.pool.reuse_hits,
+    );
+    r.counter_add(
+        "cusfft_pool_requests_total",
+        arena_help,
+        &[("result", "miss")],
+        report.pool.fresh_misses,
+    );
+
     // Latency histograms per (path, QoS).
     for pl in &report.path_latency {
         r.observe_hist(

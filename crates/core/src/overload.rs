@@ -65,8 +65,9 @@ use crate::error::CusFftError;
 use crate::pipeline::ExecStreams;
 use crate::plan_cache::{PlanKey, ServeQos};
 use crate::serve::{
-    run_group, validate_request, FaultTally, Group, GroupInfo, PathLatency, RequestOutcome,
-    ServeConfig, ServeEngine, ServePath, ServeReport, ServeRequest, ServeResponse, ServeTimeline,
+    merge_rollups, rollup_kernels, run_group, validate_request, FaultTally, Group, GroupInfo,
+    GroupTelemetry, PathLatency, PoolTally, RequestOutcome, ServeConfig, ServeEngine, ServePath,
+    ServeReport, ServeRequest, ServeResponse, ServeTimeline,
 };
 
 /// One request in an open-loop arrival trace.
@@ -219,6 +220,10 @@ struct GroupRun {
     duration: f64,
     /// True when the breaker kept this group off the device.
     short_circuit: bool,
+    /// Kernel/pool telemetry of this run (empty when short-circuited or
+    /// the worker was lost; a losing hedge's telemetry is discarded
+    /// with its results).
+    tel: GroupTelemetry,
 }
 
 /// Executes one group on a fresh private device. Freshness is what
@@ -238,6 +243,18 @@ fn run_group_on_fresh_device(
     tally.injected = device.faults_injected();
     let ops = device.ops();
     let duration = schedule(&ops, spec.max_concurrent_kernels).makespan;
+    // The device is fresh, so the whole recording belongs to this group.
+    let arena = streams.arena.stats();
+    let tel = GroupTelemetry {
+        gid: group.gid,
+        kernels: rollup_kernels(&device.records()),
+        pool: PoolTally {
+            alloc_ops: device.pool_alloc_ops(),
+            release_ops: device.pool_release_ops(),
+            reuse_hits: arena.reuse_hits,
+            fresh_misses: arena.fresh_misses,
+        },
+    };
     GroupRun {
         gid: group.gid,
         results,
@@ -246,6 +263,7 @@ fn run_group_on_fresh_device(
         tally,
         duration,
         short_circuit: false,
+        tel,
     }
 }
 
@@ -343,6 +361,10 @@ fn recover_group_loss(
         faulted: false,
         duration: 0.0,
         short_circuit: false,
+        tel: GroupTelemetry {
+            gid: group.gid,
+            ..GroupTelemetry::default()
+        },
     }
 }
 
@@ -389,6 +411,10 @@ fn short_circuit_group(
         faulted: false,
         duration: 0.0,
         short_circuit: true,
+        tel: GroupTelemetry {
+            gid: group.gid,
+            ..GroupTelemetry::default()
+        },
     }
 }
 
@@ -400,7 +426,7 @@ fn short_circuit_group(
 /// believes the server drains.
 pub fn nominal_service(spec: &DeviceSpec, n: usize, k: usize) -> f64 {
     let dev = worker_device(spec, None);
-    GpuSimBackend.estimate_cost(&dev, spec, &SfftParams::tuned(n, k))
+    GpuSimBackend::default().estimate_cost(&dev, spec, &SfftParams::tuned(n, k))
 }
 
 /// A request admitted past the queue and deadline checks.
@@ -666,10 +692,20 @@ impl ServeEngine {
                 hedged: hedged_gids.contains(&g.gid),
             })
             .collect();
+        let mut tels: Vec<GroupTelemetry> = Vec::new();
         for run in runs.into_iter().flatten() {
+            tels.push(run.tel);
             for (idx, outcome) in run.results {
                 outcomes[idx] = Some(outcome);
             }
+        }
+        // Winner-run telemetry only, in gid order (`runs` is indexed by
+        // gid): the report's kernel/pool table is invariant under
+        // worker count and epoch chunking.
+        let kernels = merge_rollups(&tels);
+        let mut pool = PoolTally::default();
+        for t in &tels {
+            pool.absorb(&t.pool);
         }
         let outcomes: Vec<RequestOutcome> = outcomes
             .into_iter()
@@ -700,6 +736,8 @@ impl ServeEngine {
             group_info,
             path_latency,
             arrivals: trace.iter().map(|t| t.arrival).collect(),
+            kernels,
+            pool,
         }
     }
 }
@@ -768,7 +806,7 @@ mod tests {
     fn service_estimate_scales_with_geometry() {
         let spec = DeviceSpec::tesla_k20x();
         let dev = worker_device(&spec, None);
-        let est = |p: &SfftParams| GpuSimBackend.estimate_cost(&dev, &spec, p);
+        let est = |p: &SfftParams| GpuSimBackend::default().estimate_cost(&dev, &spec, p);
         let small = est(&SfftParams::tuned(1 << 10, 4));
         let large = est(&SfftParams::tuned(1 << 14, 4));
         assert!(small > 0.0);

@@ -19,18 +19,24 @@
 use std::sync::Arc;
 
 use fft::cplx::{Cplx, ZERO};
-use gpu_sim::{DeviceBuffer, GpuDevice, StreamId, DEFAULT_STREAM};
+use gpu_sim::{DeviceBuffer, GpuDevice, PooledBuffer, StreamId, DEFAULT_STREAM};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sfft_cpu::{Permutation, SfftParams};
 use signal::Recovered;
 
+use crate::arena::ExecArena;
 use crate::cufft::batched_fft_rows;
-use crate::cutoff::{fast_select_device, magnitudes_device, noise_threshold_device, sort_select_device};
+use crate::cutoff::{
+    fast_select_device, magnitudes_device_pooled, noise_threshold_device, sort_select_device,
+};
 use crate::error::CusFftError;
 use crate::locate::{locate_device, LocateState};
-use crate::perm_filter::{perm_filter_async, perm_filter_partition};
-use crate::reconstruct::{reconstruct_device, LoopMeta, SideGeometry};
+use crate::perm_filter::{
+    choose_remap, perm_filter_async_opts, perm_filter_partition, staging_lens, RemapChoice,
+    RemapKind,
+};
+use crate::reconstruct::{reconstruct_device_pooled, LoopMeta, SideGeometry};
 use crate::report::StepBreakdown;
 
 /// Which implementation tier to run (the two curves of Figure 5).
@@ -108,6 +114,10 @@ pub struct CusFft {
     select_factor: f64,
     /// Optional sFFT-v2 comb pre-filter.
     comb: Option<sfft_cpu::CombParams>,
+    /// Transaction-priced remap flavour per filter geometry (location /
+    /// estimation side), chosen at plan build.
+    remap_loc: RemapChoice,
+    remap_est: RemapChoice,
 }
 
 /// The set of simulated streams one execution enqueues on: `main` carries
@@ -121,6 +131,10 @@ pub struct ExecStreams {
     pub main: StreamId,
     /// Auxiliary streams for `perm_filter_async`.
     pub aux: Vec<StreamId>,
+    /// Per-worker buffer pools every request on these streams draws its
+    /// device scratch from (see [`crate::arena::ExecArena`]). The serving
+    /// layer resets it at group boundaries for determinism.
+    pub arena: ExecArena,
 }
 
 impl ExecStreams {
@@ -130,6 +144,7 @@ impl ExecStreams {
         ExecStreams {
             main: DEFAULT_STREAM,
             aux: (0..num_aux).map(|_| device.create_stream()).collect(),
+            arena: ExecArena::new(),
         }
     }
 
@@ -139,6 +154,7 @@ impl ExecStreams {
         ExecStreams {
             main: device.create_stream(),
             aux: (0..num_aux).map(|_| device.create_stream()).collect(),
+            arena: ExecArena::new(),
         }
     }
 }
@@ -148,14 +164,28 @@ impl ExecStreams {
 /// requests) cuFFT, plus the permutations and comb mask the back half
 /// needs.
 pub struct PreparedRequest {
-    pub(crate) bucket_bufs: Vec<DeviceBuffer<Cplx>>,
+    pub(crate) bucket_bufs: Vec<PooledBuffer<Cplx>>,
     pub(crate) perms: Vec<Permutation>,
-    pub(crate) mask_buf: Option<DeviceBuffer<u8>>,
+    pub(crate) mask_buf: Option<PooledBuffer<u8>>,
     /// Sampled time-domain checkpoints `(t_j, x[t_j])` for the result-
     /// integrity check in [`CusFft::finish`] — captured from the host
     /// shadow of the input signal at deterministic seed-derived
     /// positions (no device ops).
     pub(crate) samples: Vec<(usize, Cplx)>,
+}
+
+/// Output of [`CusFft::finish_compute`]: the located hits and their
+/// reconstructed values, still awaiting their D2H transfers (which the
+/// serving layer may aggregate across a whole batch group).
+pub(crate) struct ComputedRequest {
+    /// Located frequencies, sorted.
+    pub(crate) hits: Vec<usize>,
+    /// The hits already device-resident (the reconstruction kernel's
+    /// input), reused for the result transfer.
+    pub(crate) hits_buf: DeviceBuffer<u32>,
+    /// Reconstructed coefficients aligned with `hits` (host shadow; the
+    /// device copy is transferred by the caller).
+    pub(crate) vals: Vec<Cplx>,
 }
 
 impl CusFft {
@@ -165,6 +195,8 @@ impl CusFft {
         let (taps_est, w_pad_est) = padded_taps(&params.filter_est, params.b_est);
         let band_loc = band_buffer(&params.filter_loc);
         let band_est = band_buffer(&params.filter_est);
+        let remap_loc = choose_remap(device.spec(), w_pad_loc, params.b_loc);
+        let remap_est = choose_remap(device.spec(), w_pad_est, params.b_est);
         CusFft {
             device,
             params,
@@ -178,7 +210,24 @@ impl CusFft {
             num_streams: 8,
             select_factor: 16.0,
             comb: None,
+            remap_loc,
+            remap_est,
         }
+    }
+
+    /// Overrides the transaction-priced remap selection on both filter
+    /// geometries — used by differential tests and benchmarks to pin the
+    /// async layout pass to one flavour.
+    pub fn with_remap(mut self, kind: RemapKind) -> Self {
+        self.remap_loc.kind = kind;
+        self.remap_est.kind = kind;
+        self
+    }
+
+    /// The remap flavour decisions (location side, estimation side) this
+    /// plan made at build time from the transaction model.
+    pub fn remap_choice(&self) -> (RemapChoice, RemapChoice) {
+        (self.remap_loc, self.remap_est)
     }
 
     /// Enables the sFFT-v2 comb pre-filter: a few aliased subsampled FFTs
@@ -309,12 +358,12 @@ impl CusFft {
         // first, on the device. It consumes the RNG ahead of the
         // permutations — the same stream discipline as `sfft_cpu::v2`.
         let mut rng = StdRng::seed_from_u64(seed);
-        let mask_buf: Option<DeviceBuffer<u8>> = match self.comb.as_ref() {
+        let mask_buf: Option<PooledBuffer<u8>> = match self.comb.as_ref() {
             Some(comb) => {
                 let mask =
                     crate::comb::comb_mask_device(device, signal, n, p.k, comb, &mut rng, stream0)?;
                 let bytes: Vec<u8> = mask.into_iter().map(u8::from).collect();
-                Some(device.try_resident(&bytes, stream0)?)
+                Some(device.try_resident_pooled(&streams.arena.bytes, &bytes, stream0)?)
             }
             None => None,
         };
@@ -322,22 +371,48 @@ impl CusFft {
             .map(|_| Permutation::random(&mut rng, n, p.random_tau))
             .collect();
 
-        // Steps 1-2: permutation + filtering for every loop.
-        let mut bucket_bufs: Vec<DeviceBuffer<Cplx>> = Vec::with_capacity(p.loops_total());
+        // Steps 1-2: permutation + filtering for every loop. Every scratch
+        // buffer comes from the worker's arena — in steady state (same
+        // request shape as a prior one on this worker since the last
+        // arena reset) these are free-list hits with no MemPool traffic.
+        let mut bucket_bufs: Vec<PooledBuffer<Cplx>> = Vec::with_capacity(p.loops_total());
         for (r, perm) in perms.iter().enumerate() {
             let is_loc = r < p.loops_loc;
-            let (b, taps, w_pad, w) = if is_loc {
-                (p.b_loc, &self.taps_loc, self.w_pad_loc, p.filter_loc.width())
+            let (b, taps, w_pad, w, remap) = if is_loc {
+                (
+                    p.b_loc,
+                    &self.taps_loc,
+                    self.w_pad_loc,
+                    p.filter_loc.width(),
+                    self.remap_loc.kind,
+                )
             } else {
-                (p.b_est, &self.taps_est, self.w_pad_est, p.filter_est.width())
+                (
+                    p.b_est,
+                    &self.taps_est,
+                    self.w_pad_est,
+                    p.filter_est.width(),
+                    self.remap_est.kind,
+                )
             };
-            let mut out = device.try_alloc_zeroed(b, stream0)?;
+            let mut out = device.try_alloc_zeroed_pooled(&streams.arena.cplx, b, stream0)?;
             match self.variant {
                 Variant::Baseline => perm_filter_partition(
                     device, signal, taps, w_pad, w, b, perm, &mut out, stream0,
                 )?,
-                Variant::Optimized => perm_filter_async(
-                    device, signal, taps, w_pad, w, b, perm, &mut out, &streams.aux, stream0,
+                Variant::Optimized => perm_filter_async_opts(
+                    device,
+                    signal,
+                    taps,
+                    w_pad,
+                    w,
+                    b,
+                    perm,
+                    &mut out,
+                    &streams.aux,
+                    stream0,
+                    remap,
+                    Some(&streams.arena.cplx),
                 )?,
             }
             bucket_bufs.push(out);
@@ -374,8 +449,8 @@ impl CusFft {
         let mut est_rows: Vec<&mut DeviceBuffer<Cplx>> = Vec::new();
         for prep in group.iter_mut() {
             let (loc, est) = prep.bucket_bufs.split_at_mut(p.loops_loc);
-            loc_rows.extend(loc.iter_mut());
-            est_rows.extend(est.iter_mut());
+            loc_rows.extend(loc.iter_mut().map(|p| &mut **p));
+            est_rows.extend(est.iter_mut().map(|p| &mut **p));
         }
         batched_fft_rows(device, &mut loc_rows, p.b_loc, stream, "cufft_batched_loc")?;
         batched_fft_rows(device, &mut est_rows, p.b_est, stream, "cufft_batched_est")?;
@@ -391,16 +466,38 @@ impl CusFft {
         prep: &PreparedRequest,
         streams: &ExecStreams,
     ) -> Result<(Recovered, usize), CusFftError> {
+        let fc = self.finish_compute(device, prep, streams)?;
+        // Copy the sparse result back (2 small transfers).
+        let vals_buf = DeviceBuffer::from_host(&fc.vals);
+        let _ = device.try_dtoh(&fc.hits_buf, streams.main)?;
+        let vals_host = device.try_dtoh(&vals_buf, streams.main)?;
+        self.finish_resolve(device, prep, &fc.hits, vals_host)
+    }
+
+    /// Device-compute portion of [`CusFft::finish`]: cutoff + location
+    /// voting per location loop and the reconstruction kernel, stopping
+    /// *before* the result transfers. The serving layer runs this per
+    /// request and then aggregates the D2H transfers of a whole batch
+    /// group into two copies (see `ExecutePlan::finish_group`).
+    pub(crate) fn finish_compute(
+        &self,
+        device: &GpuDevice,
+        prep: &PreparedRequest,
+        streams: &ExecStreams,
+    ) -> Result<ComputedRequest, CusFftError> {
         let p = &*self.params;
         let n = p.n;
         let stream0 = streams.main;
         let bucket_bufs = &prep.bucket_bufs;
         let perms = &prep.perms;
 
-        // Steps 4-5: cutoff + location voting per location loop.
+        // Steps 4-5: cutoff + location voting per location loop. The
+        // selection scratch vector is reused across loops.
         let state = LocateState::new(n, n);
+        let mut sel_host: Vec<u32> = Vec::new();
         for r in 0..p.loops_loc {
-            let mags = magnitudes_device(device, &bucket_bufs[r], stream0)?;
+            let mags =
+                magnitudes_device_pooled(device, &streams.arena.f64s, &bucket_bufs[r], stream0)?;
             let selected: Vec<usize> = match self.variant {
                 Variant::Baseline => {
                     sort_select_device(device, &mags, p.num_candidates, stream0)?
@@ -415,7 +512,8 @@ impl CusFft {
                     fast_select_device(device, &mags, thr, stream0)?
                 }
             };
-            let sel_host: Vec<u32> = selected.iter().map(|&i| i as u32).collect();
+            sel_host.clear();
+            sel_host.extend(selected.iter().map(|&i| i as u32));
             let sel_buf = DeviceBuffer::from_host(&sel_host);
             match &prep.mask_buf {
                 Some(mask) => crate::locate::locate_masked_device(
@@ -464,8 +562,9 @@ impl CusFft {
         };
         let hits_host: Vec<u32> = hits.iter().map(|&h| h as u32).collect();
         let hits_buf = DeviceBuffer::from_host(&hits_host);
-        let vals = reconstruct_device(
+        let vals = reconstruct_device_pooled(
             device,
+            &streams.arena.cplx,
             &hits_buf,
             &metas,
             bucket_bufs,
@@ -475,11 +574,25 @@ impl CusFft {
             stream0,
         )?;
 
-        // Copy the sparse result back (2 small transfers).
-        let vals_buf = DeviceBuffer::from_host(&vals);
-        let _ = device.try_dtoh(&hits_buf, stream0)?;
-        let vals_host = device.try_dtoh(&vals_buf, stream0)?;
+        Ok(ComputedRequest {
+            hits,
+            hits_buf,
+            vals,
+        })
+    }
 
+    /// Host-side tail of [`CusFft::finish`], run after the result
+    /// transfers (however they were batched): pairs hits with their
+    /// transferred values, sorts by frequency, and applies the gated
+    /// result-integrity check.
+    pub(crate) fn finish_resolve(
+        &self,
+        device: &GpuDevice,
+        prep: &PreparedRequest,
+        hits: &[usize],
+        vals_host: Vec<Cplx>,
+    ) -> Result<(Recovered, usize), CusFftError> {
+        let p = &*self.params;
         let mut recovered: Recovered = hits
             .iter()
             .zip(vals_host)
@@ -500,6 +613,57 @@ impl CusFft {
     /// Auxiliary streams the async layout transformation wants.
     pub(crate) fn num_streams(&self) -> usize {
         self.num_streams
+    }
+
+    /// Pre-sizes the arena for `group_size` same-shape requests by
+    /// acquiring (then parking) every pool shape they will need:
+    /// request-lifetime buffers (signal, comb mask, bucket rows) are held
+    /// simultaneously ×`group_size`; transient scratch (async staging
+    /// chunks, magnitude vectors) is recycled within a request, so one
+    /// set suffices. After a successful warm, per-request acquisitions
+    /// are free-list hits — zero `MemPool` traffic, no allocation fault
+    /// gates. The reconstruction values buffer is content-dependent (hit
+    /// count) and warms on the first real request instead. Timeline-
+    /// invisible on a fault-free device (successful allocations record
+    /// no ops); under fault injection the fresh allocations here roll
+    /// the usual alloc gates.
+    pub(crate) fn warm_arena(
+        &self,
+        device: &GpuDevice,
+        streams: &ExecStreams,
+        group_size: usize,
+    ) -> Result<(), CusFftError> {
+        let p = &*self.params;
+        let main = streams.main;
+        let arena = &streams.arena;
+        let mut held: Vec<PooledBuffer<Cplx>> = Vec::new();
+        let mut held_bytes: Vec<PooledBuffer<u8>> = Vec::new();
+        for _ in 0..group_size {
+            held.push(device.try_alloc_zeroed_pooled(&arena.cplx, p.n, main)?);
+            if let Some(comb) = self.comb.as_ref() {
+                held_bytes.push(device.try_alloc_zeroed_pooled(
+                    &arena.bytes,
+                    comb.comb_size,
+                    main,
+                )?);
+            }
+            for r in 0..p.loops_total() {
+                let b = if r < p.loops_loc { p.b_loc } else { p.b_est };
+                held.push(device.try_alloc_zeroed_pooled(&arena.cplx, b, main)?);
+            }
+        }
+        if self.variant == Variant::Optimized {
+            for (w_pad, b) in [(self.w_pad_loc, p.b_loc), (self.w_pad_est, p.b_est)] {
+                let mut set: Vec<PooledBuffer<Cplx>> = Vec::new();
+                for len in staging_lens(device.spec(), w_pad, b) {
+                    set.push(device.try_alloc_zeroed_pooled(&arena.cplx, len, main)?);
+                }
+            }
+        }
+        if p.loops_loc > 0 {
+            let _mags = device.try_alloc_zeroed_pooled(&arena.f64s, p.b_loc, main)?;
+        }
+        Ok(())
     }
 }
 

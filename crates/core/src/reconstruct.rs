@@ -3,7 +3,7 @@
 //! and reports the component-wise median.
 
 use fft::cplx::{Cplx, ZERO};
-use gpu_sim::{DeviceBuffer, GpuDevice, GpuError, LaunchConfig, StreamId};
+use gpu_sim::{BufferPool, DeviceBuffer, GpuDevice, GpuError, LaunchConfig, StreamId};
 use kselect::median_cplx;
 use sfft_cpu::perm::mul_mod;
 
@@ -56,13 +56,36 @@ pub fn reconstruct_device(
     n: usize,
     stream: StreamId,
 ) -> Result<Vec<Cplx>, GpuError> {
+    let pool = BufferPool::new();
+    reconstruct_device_pooled(
+        device, &pool, hits, loops, buckets, loc_geo, est_geo, n, stream,
+    )
+}
+
+/// [`reconstruct_device`] with the values buffer drawn from a pool and
+/// the bucket rows accepted through `AsRef` (plain or pooled device
+/// buffers). In steady state — a request with the same hit count as a
+/// prior one in the group — the values buffer is a free-list hit: no
+/// `MemPool` traffic, no allocation fault gate.
+#[allow(clippy::too_many_arguments)]
+pub fn reconstruct_device_pooled<B: AsRef<DeviceBuffer<Cplx>> + Sync>(
+    device: &GpuDevice,
+    pool: &BufferPool<Cplx>,
+    hits: &DeviceBuffer<u32>,
+    loops: &[LoopMeta],
+    buckets: &[B],
+    loc_geo: &SideGeometry<'_>,
+    est_geo: &SideGeometry<'_>,
+    n: usize,
+    stream: StreamId,
+) -> Result<Vec<Cplx>, GpuError> {
     assert_eq!(loops.len(), buckets.len(), "one bucket row per loop");
     assert!(loops.len() <= MAX_LOOPS, "too many loops for the kernel");
     let num_hits = hits.len();
     if num_hits == 0 {
         return Ok(Vec::new());
     }
-    let mut vals: DeviceBuffer<Cplx> = device.try_alloc_zeroed(num_hits, stream)?;
+    let mut vals = device.try_alloc_zeroed_pooled(pool, num_hits, stream)?;
     let cfg = LaunchConfig::for_elements(num_hits, BLOCK);
     device.try_launch_map("reconstruct", cfg, stream, &mut vals, |ctx, gm| {
         let tid = ctx.global_id();
@@ -85,7 +108,7 @@ pub fn reconstruct_device(
             if gf.abs() < MIN_FILTER_MAG {
                 continue;
             }
-            let z = gm.ld(&buckets[r], hashed);
+            let z = gm.ld(buckets[r].as_ref(), hashed);
             let phase = Cplx::cis(
                 -std::f64::consts::TAU * mul_mod(f, meta.tau, n) as f64 / n as f64,
             );

@@ -379,6 +379,107 @@ pub struct PathLatency {
     pub hist: cusfft_telemetry::Histogram,
 }
 
+/// Modeled execution totals for one kernel (or transfer) name over a
+/// serve call, rolled up from the workers' recordings. Per-transfer
+/// byte suffixes are stripped (`"dtoh (512 B)"` folds into `"dtoh"`),
+/// so every launch of one kernel aggregates under one row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRollup {
+    /// Kernel or transfer label.
+    pub name: String,
+    /// Launches/transfers recorded under this name.
+    pub launches: u64,
+    /// Summed modeled duration (seconds).
+    pub time: f64,
+    /// Summed modeled DRAM transactions (zero for transfers).
+    pub transactions: f64,
+    /// Summed modeled DRAM bytes.
+    pub dram_bytes: f64,
+}
+
+/// Device memory-pool and arena traffic over a serve call. After the
+/// warmup allocations of each group, steady-state requests should add
+/// nothing to `alloc_ops` — the invariant the zero-allocation test
+/// pins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolTally {
+    /// Tracked `MemPool` allocations (fresh device reservations).
+    pub alloc_ops: u64,
+    /// Tracked `MemPool` releases.
+    pub release_ops: u64,
+    /// Arena acquisitions satisfied from a free list.
+    pub reuse_hits: u64,
+    /// Arena acquisitions that fell through to a fresh allocation.
+    pub fresh_misses: u64,
+}
+
+impl PoolTally {
+    pub(crate) fn absorb(&mut self, other: &PoolTally) {
+        self.alloc_ops += other.alloc_ops;
+        self.release_ops += other.release_ops;
+        self.reuse_hits += other.reuse_hits;
+        self.fresh_misses += other.fresh_misses;
+    }
+}
+
+/// Kernel/pool telemetry one worker captured around a single
+/// `run_group` call. Deltas, not cumulative counters, so merging is
+/// order-insensitive for the integers and gid-ordered for the float
+/// sums.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GroupTelemetry {
+    pub(crate) gid: usize,
+    pub(crate) kernels: Vec<KernelRollup>,
+    pub(crate) pool: PoolTally,
+}
+
+/// Rolls a recording slice up by normalized kernel name, sorted by name
+/// for a deterministic report layout. Accumulation follows record order,
+/// so float sums are reproducible.
+pub(crate) fn rollup_kernels(records: &[gpu_sim::LaunchRecord]) -> Vec<KernelRollup> {
+    let mut map: std::collections::BTreeMap<String, KernelRollup> = std::collections::BTreeMap::new();
+    for r in records {
+        let name = r.name.split(" (").next().unwrap_or(&r.name);
+        let e = map
+            .entry(name.to_string())
+            .or_insert_with(|| KernelRollup {
+                name: name.to_string(),
+                launches: 0,
+                time: 0.0,
+                transactions: 0.0,
+                dram_bytes: 0.0,
+            });
+        e.launches += 1;
+        e.time += r.cost.total;
+        e.transactions += r.stats.transactions;
+        e.dram_bytes += r.stats.dram_bytes;
+    }
+    map.into_values().collect()
+}
+
+/// Merges per-group rollups (callers pass them sorted by gid, making
+/// the float accumulation order deterministic) into one name-sorted
+/// report table.
+pub(crate) fn merge_rollups(groups: &[GroupTelemetry]) -> Vec<KernelRollup> {
+    let mut map: std::collections::BTreeMap<String, KernelRollup> = std::collections::BTreeMap::new();
+    for g in groups {
+        for k in &g.kernels {
+            let e = map.entry(k.name.clone()).or_insert_with(|| KernelRollup {
+                name: k.name.clone(),
+                launches: 0,
+                time: 0.0,
+                transactions: 0.0,
+                dram_bytes: 0.0,
+            });
+            e.launches += k.launches;
+            e.time += k.time;
+            e.transactions += k.transactions;
+            e.dram_bytes += k.dram_bytes;
+        }
+    }
+    map.into_values().collect()
+}
+
 /// Outcome of one [`ServeEngine::serve_batch`] call.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -415,6 +516,11 @@ pub struct ServeReport {
     /// Request arrival times in submission order (overload path only;
     /// empty for [`ServeEngine::serve_batch`]).
     pub arrivals: Vec<f64>,
+    /// Per-kernel modeled execution totals, rolled up across all groups
+    /// and sorted by kernel name.
+    pub kernels: Vec<KernelRollup>,
+    /// Device memory-pool and arena traffic summed over all groups.
+    pub pool: PoolTally,
 }
 
 impl ServeReport {
@@ -575,10 +681,20 @@ impl ServeEngine {
 
         let mut outcomes: Vec<Option<RequestOutcome>> =
             (0..requests.len()).map(|_| None).collect();
+        let mut groups_tel: Vec<GroupTelemetry> = Vec::new();
         for w in worker_outputs {
+            groups_tel.extend(w.groups_tel);
             for (idx, outcome) in w.results {
                 outcomes[idx] = Some(outcome);
             }
+        }
+        // Global group order, not worker order, so the report's float
+        // sums are invariant under the worker count.
+        groups_tel.sort_by_key(|t| t.gid);
+        let kernels = merge_rollups(&groups_tel);
+        let mut pool = PoolTally::default();
+        for t in &groups_tel {
+            pool.absorb(&t.pool);
         }
         for (idx, err) in prefailed {
             faults.failed += 1;
@@ -631,6 +747,8 @@ impl ServeEngine {
             group_info,
             path_latency: Vec::new(),
             arrivals: Vec::new(),
+            kernels,
+            pool,
         }
     }
 
@@ -704,6 +822,8 @@ struct WorkerOutput {
     ops: Vec<gpu_sim::Op>,
     /// The worker's fault/recovery counters.
     tally: FaultTally,
+    /// Per-group kernel/pool telemetry, in this worker's group order.
+    groups_tel: Vec<GroupTelemetry>,
 }
 
 /// Executes `shard`'s groups serially on a private device: prepare every
@@ -722,16 +842,38 @@ fn run_worker(
     let streams = ExecStreams::on_device_private(&device, aux);
     let mut tally = FaultTally::default();
     let mut results = Vec::new();
+    let mut groups_tel = Vec::new();
+    let mut rec_base = 0usize;
     for group in shard {
+        let alloc0 = device.pool_alloc_ops();
+        let release0 = device.pool_release_ops();
+        let arena0 = streams.arena.stats();
         results.extend(run_group(
             &device, group, requests, &streams, cfg, &mut tally, false,
         ));
+        // Everything recorded/charged since the previous group boundary
+        // belongs to this group: run_group resets the arena on both
+        // ends, so pool releases cannot leak across groups.
+        let records = device.records();
+        let arena1 = streams.arena.stats();
+        groups_tel.push(GroupTelemetry {
+            gid: group.gid,
+            kernels: rollup_kernels(&records[rec_base..]),
+            pool: PoolTally {
+                alloc_ops: device.pool_alloc_ops() - alloc0,
+                release_ops: device.pool_release_ops() - release0,
+                reuse_hits: arena1.reuse_hits - arena0.reuse_hits,
+                fresh_misses: arena1.fresh_misses - arena0.fresh_misses,
+            },
+        });
+        rec_base = records.len();
     }
     tally.injected = device.faults_injected();
     WorkerOutput {
         results,
         ops: device.ops(),
         tally,
+        groups_tel,
     }
 }
 
@@ -775,24 +917,59 @@ pub(crate) fn run_group(
     // Group positions deferred to the individual retry path.
     let mut individual: Vec<usize> = Vec::new();
 
+    // Pool state must be a pure function of this group alone — never of
+    // which worker ran it or what ran before on the same streams — so
+    // the arena starts empty at every group boundary.
+    streams.arena.reset();
+
     // Batch attempt. Every fault decision inside it rolls in the group's
     // own scope, so the sequence is invariant under worker placement.
     device.set_fault_scope(scope_group(g, hedged));
     device.set_op_tag(tag_batch(g, plan.backend().code(), hedged));
-    let mut preps: Vec<Option<PreparedState>> = Vec::with_capacity(nreq);
-    for (j, &idx) in group.indices.iter().enumerate() {
-        let req = &requests[idx];
-        let r = run_caught(tally, "prepare", || {
-            plan.prepare(device, &req.time, req.seed, streams)
+
+    // Pool warmup plus one aggregated H2D staging transfer for the
+    // group's combined signal payload. Nothing request-specific has run
+    // yet, so a failure is group-wide: every request is evicted to the
+    // individual path (which rolls its own fault scopes).
+    let mut staged = run_caught(tally, "warm", || plan.warm(device, streams, nreq));
+    if staged.is_ok() {
+        let bytes: usize = group
+            .indices
+            .iter()
+            .map(|&idx| std::mem::size_of_val(requests[idx].time.as_slice()))
+            .sum();
+        staged = run_caught(tally, "stage", || {
+            plan.stage_group(device, bytes, streams.main)
         });
-        match r {
-            Ok(p) => preps.push(Some(p)),
-            Err(e) => {
+    }
+
+    let mut preps: Vec<Option<PreparedState>> = Vec::with_capacity(nreq);
+    match staged {
+        Err(e) => {
+            tally.note(&e);
+            for (j, slot) in last_err.iter_mut().enumerate().take(nreq) {
                 tally.evictions += 1;
-                tally.note(&e);
-                last_err[j] = Some(e);
+                *slot = Some(e.clone());
                 individual.push(j);
                 preps.push(None);
+            }
+        }
+        Ok(()) => {
+            for (j, &idx) in group.indices.iter().enumerate() {
+                let req = &requests[idx];
+                let r = run_caught(tally, "prepare", || {
+                    plan.prepare(device, &req.time, req.seed, streams)
+                });
+                match r {
+                    Ok(p) => preps.push(Some(p)),
+                    Err(e) => {
+                        tally.evictions += 1;
+                        tally.note(&e);
+                        last_err[j] = Some(e);
+                        individual.push(j);
+                        preps.push(None);
+                    }
+                }
             }
         }
     }
@@ -820,26 +997,51 @@ pub(crate) fn run_group(
         }
     }
 
-    if batched_ok {
-        for &j in &survivors {
-            let prep = preps[j]
-                .as_ref()
-                .expect("survivors hold their prepared state");
-            let r = run_caught(tally, "finish", || plan.finish(device, prep, streams));
-            match r {
-                Ok((recovered, num_hits)) => {
-                    outcomes[j] = Some(RequestOutcome::Done(ServeResponse {
-                        recovered,
-                        num_hits,
-                        path: ServePath::Gpu,
-                        qos: group.qos,
-                        backend: plan.backend(),
-                    }));
+    if batched_ok && !survivors.is_empty() {
+        // One back-half pass over the whole surviving group, so the
+        // backend can aggregate its result transfers (D2H) group-wide
+        // instead of paying PCIe latency per request. A panic anywhere
+        // in the pass evicts every survivor (the aggregated transfers
+        // make per-request attribution of a panic ambiguous).
+        let prep_refs: Vec<&PreparedState> = survivors
+            .iter()
+            .map(|&j| {
+                preps[j]
+                    .as_ref()
+                    .expect("survivors hold their prepared state")
+            })
+            .collect();
+        let finished = run_caught(tally, "finish", || {
+            Ok(plan.finish_group(device, &prep_refs, streams))
+        });
+        match finished {
+            Ok(rs) => {
+                debug_assert_eq!(rs.len(), survivors.len());
+                for (&j, r) in survivors.iter().zip(rs) {
+                    match r {
+                        Ok((recovered, num_hits)) => {
+                            outcomes[j] = Some(RequestOutcome::Done(ServeResponse {
+                                recovered,
+                                num_hits,
+                                path: ServePath::Gpu,
+                                qos: group.qos,
+                                backend: plan.backend(),
+                            }));
+                        }
+                        Err(e) => {
+                            tally.evictions += 1;
+                            tally.note(&e);
+                            last_err[j] = Some(e);
+                            individual.push(j);
+                        }
+                    }
                 }
-                Err(e) => {
+            }
+            Err(e) => {
+                for &j in &survivors {
                     tally.evictions += 1;
                     tally.note(&e);
-                    last_err[j] = Some(e);
+                    last_err[j] = Some(e.clone());
                     individual.push(j);
                 }
             }
@@ -915,6 +1117,13 @@ pub(crate) fn run_group(
         });
     }
 
+    // Return every pooled buffer (dropping the prepared states) before
+    // the end-of-group reset, so the `MemPool` releases land in this
+    // group's telemetry window — not the next group's, which may run on
+    // a different worker under a different sharding.
+    drop(preps);
+    streams.arena.reset();
+
     group
         .indices
         .iter()
@@ -971,6 +1180,7 @@ fn recover_worker_loss(
         results,
         ops: Vec::new(),
         tally,
+        groups_tel: Vec::new(),
     }
 }
 
@@ -1204,7 +1414,7 @@ mod tests {
     #[test]
     fn unregistered_backend_fails_typed() {
         let mut registry = BackendRegistry::empty();
-        registry.register(Arc::new(crate::backend::GpuSimBackend));
+        registry.register(Arc::new(crate::backend::GpuSimBackend::default()));
         let engine = ServeEngine::with_registry(
             DeviceSpec::tesla_k20x(),
             ServeConfig::default(),

@@ -51,7 +51,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
-use crate::buffer::{DeviceBuffer, MemPool};
+use crate::buffer::{BufferPool, DeviceBuffer, MemPool, PooledBuffer};
 use crate::cost::{bound_by, kernel_cost, transfer_time, KernelCost};
 use crate::error::{GpuError, TransferDir};
 use crate::fault::{FaultClass, FaultConfig, FaultState, SdcTarget};
@@ -216,6 +216,18 @@ impl GpuDevice {
     /// Bytes available to tracked allocations.
     pub fn free_bytes(&self) -> u64 {
         self.pool.free()
+    }
+
+    /// Successful `MemPool` reservations since device creation
+    /// (monotonic). The delta across a request is the per-request
+    /// allocation traffic — zero in a warmed steady state.
+    pub fn pool_alloc_ops(&self) -> u64 {
+        self.pool.alloc_ops()
+    }
+
+    /// `MemPool` reservation releases since device creation (monotonic).
+    pub fn pool_release_ops(&self) -> u64 {
+        self.pool.release_ops()
     }
 
     /// Creates a new stream.
@@ -405,6 +417,72 @@ impl GpuDevice {
         DeviceBuffer::from_host_in(host, &self.pool)
     }
 
+    /// Pool-recycling variant of [`GpuDevice::try_alloc_zeroed`]: reuses
+    /// an idle buffer from `pool` when one of exactly `len` elements is
+    /// parked — no `MemPool` traffic and **no allocation fault gate**,
+    /// since pooling models the removal of per-request `cudaMalloc` —
+    /// falling back to a fresh tracked allocation otherwise.
+    pub fn try_alloc_zeroed_pooled<T: Copy + Default>(
+        &self,
+        pool: &BufferPool<T>,
+        len: usize,
+        stream: StreamId,
+    ) -> Result<PooledBuffer<T>, GpuError> {
+        if let Some(buf) = pool.reuse_zeroed(len) {
+            return Ok(buf);
+        }
+        pool.count_miss();
+        Ok(pool.adopt(self.try_alloc_zeroed(len, stream)?))
+    }
+
+    /// Pool-recycling variant of [`GpuDevice::try_resident`]: reuses an
+    /// idle buffer of exactly `host.len()` elements (overwritten with
+    /// `host`, no `MemPool` traffic, no fault gate), falling back to a
+    /// fresh tracked resident allocation. Like `try_resident`, no PCIe
+    /// time is charged — staging cost is accounted by the caller (see
+    /// [`GpuDevice::try_charge_htod`] for batched staging).
+    pub fn try_resident_pooled<T: Copy>(
+        &self,
+        pool: &BufferPool<T>,
+        host: &[T],
+        stream: StreamId,
+    ) -> Result<PooledBuffer<T>, GpuError> {
+        if let Some(buf) = pool.reuse_resident(host) {
+            return Ok(buf);
+        }
+        pool.count_miss();
+        Ok(pool.adopt(self.try_resident(host, stream)?))
+    }
+
+    /// Charges one aggregated host→device staging transfer of `bytes` on
+    /// `stream` without materialising a buffer — the batched-transfer
+    /// counterpart of the per-buffer paths: a serve group stages all its
+    /// members' signals as **one** PCIe op (one `H2d` fault gate for the
+    /// whole group) and the buffers themselves are made resident via
+    /// [`GpuDevice::try_resident_pooled`], which charges nothing. A
+    /// failed transfer still occupied the copy engine for its full
+    /// duration but moved no data.
+    pub fn try_charge_htod(
+        &self,
+        label: &str,
+        bytes: usize,
+        stream: StreamId,
+    ) -> Result<(), GpuError> {
+        {
+            let mut st = self.state.lock();
+            if let Some((FaultClass::H2d, ..)) = Self::decide_fault(&mut st, &[FaultClass::H2d]) {
+                let dur = transfer_time(&self.spec, bytes);
+                Self::push_fault_op(&mut st, FaultClass::H2d, label, Engine::Pcie, dur, stream);
+                return Err(GpuError::TransferFailure {
+                    dir: TransferDir::HostToDevice,
+                    bytes,
+                });
+            }
+        }
+        self.push_transfer(label, bytes, stream);
+        Ok(())
+    }
+
     /// Device→host copy; charges PCIe time on `stream`. Can fault with a
     /// transfer failure or a detected-uncorrectable ECC error (both
     /// transient: the copy engine time is charged, no data is returned,
@@ -457,6 +535,86 @@ impl GpuDevice {
         }
         self.push_transfer("dtoh", bytes, stream);
         Ok(buf.peek())
+    }
+
+    /// Grouped device→host copy: one aggregated PCIe transfer record
+    /// for the concatenated payload, with fault and corruption
+    /// decisions rolled **per constituent buffer**. Batching result
+    /// transfers must not launder fault exposure — corruption odds
+    /// follow the payloads moved, not the number of `cudaMemcpy` calls
+    /// that move them — so each constituent rolls the same
+    /// `[D2h, Ecc, (Sdc)]` gates it would roll as a standalone
+    /// transfer. A hard fault on any constituent fails the whole
+    /// grouped transfer (charged at the aggregate's PCIe duration); an
+    /// SDC decision corrupts one element of that constituent's
+    /// returned copy only, leaving device-side data intact for retry.
+    pub fn try_dtoh_group<T: Copy + SdcTarget>(
+        &self,
+        bufs: &[&DeviceBuffer<T>],
+        stream: StreamId,
+    ) -> Result<Vec<Vec<T>>, GpuError> {
+        let total_bytes: usize = bufs.iter().map(|b| b.size_bytes()).sum();
+        let classes: &[FaultClass] = if T::SUSCEPTIBLE {
+            &[FaultClass::D2h, FaultClass::Ecc, FaultClass::Sdc]
+        } else {
+            &[FaultClass::D2h, FaultClass::Ecc]
+        };
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(bufs.len());
+        {
+            let mut st = self.state.lock();
+            for buf in bufs {
+                match Self::decide_fault(&mut st, classes) {
+                    Some((FaultClass::D2h, ..)) => {
+                        let dur = transfer_time(&self.spec, total_bytes);
+                        Self::push_fault_op(
+                            &mut st,
+                            FaultClass::D2h,
+                            "dtoh_group",
+                            Engine::Pcie,
+                            dur,
+                            stream,
+                        );
+                        return Err(GpuError::TransferFailure {
+                            dir: TransferDir::DeviceToHost,
+                            bytes: total_bytes,
+                        });
+                    }
+                    Some((FaultClass::Ecc, ..)) => {
+                        let dur = transfer_time(&self.spec, total_bytes);
+                        Self::push_fault_op(
+                            &mut st,
+                            FaultClass::Ecc,
+                            "dtoh_group",
+                            Engine::Pcie,
+                            dur,
+                            stream,
+                        );
+                        return Err(GpuError::EccCorruption {
+                            buffer_bytes: total_bytes,
+                        });
+                    }
+                    Some((FaultClass::Sdc, _, entropy)) => {
+                        Self::push_fault_op(
+                            &mut st,
+                            FaultClass::Sdc,
+                            "dtoh_group",
+                            Engine::Host,
+                            0.0,
+                            stream,
+                        );
+                        let mut data = buf.peek();
+                        if !data.is_empty() {
+                            let idx = (entropy as usize) % data.len();
+                            data[idx].corrupt(entropy >> 8);
+                        }
+                        out.push(data);
+                    }
+                    _ => out.push(buf.peek()),
+                }
+            }
+        }
+        self.push_transfer("dtoh_group", total_bytes, stream);
+        Ok(out)
     }
 
     /// Device→host copy; charges PCIe time on `stream`.

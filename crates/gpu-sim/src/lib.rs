@@ -40,7 +40,7 @@ pub use atomic::{DevAtomicCplx, DevAtomicF64, DevAtomicU32};
 pub use breaker::{
     BreakerConfig, BreakerDecision, BreakerState, BreakerTransition, CircuitBreaker,
 };
-pub use buffer::{DeviceBuffer, MemPool};
+pub use buffer::{BufferPool, BufferPoolStats, DeviceBuffer, MemPool, PooledBuffer};
 pub use cost::{kernel_cost, transfer_time, KernelCost};
 pub use device::{GpuDevice, LaunchRecord, DEFAULT_STREAM};
 pub use error::{GpuError, TransferDir};

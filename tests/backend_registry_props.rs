@@ -12,7 +12,7 @@ use proptest::prelude::*;
 
 fn stock(kind: BackendKind) -> Arc<dyn Backend> {
     match kind {
-        BackendKind::GpuSim => Arc::new(GpuSimBackend),
+        BackendKind::GpuSim => Arc::new(GpuSimBackend::default()),
         BackendKind::SfftCpu => Arc::new(SfftCpuBackend),
         BackendKind::DenseFft => Arc::new(DenseFftBackend),
     }

@@ -29,7 +29,7 @@ fn bench_serve(c: &mut Criterion) {
                 cache_capacity: 8,
                 ..ServeConfig::default()
             },
-        );
+        ).expect("serve config is valid");
         // Deterministic simulated numbers, printed once per config.
         let report = engine.serve_batch(&requests);
         println!(

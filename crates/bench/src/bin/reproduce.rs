@@ -21,6 +21,9 @@
 //!   throughput  served throughput + modeled DRAM transactions, direct
 //!             vs tiled remap on the allocation-free hot path
 //!             (explicit-only — `--smoke` for the CI profile)
+//!   fleet     heterogeneous device-fleet serving: topology comparison
+//!             plus serving *through* a device loss vs the degraded
+//!             single-device floor (explicit-only — `--smoke` for CI)
 //!   all       everything above except the explicit-only targets (default)
 //! ```
 //!
@@ -62,7 +65,7 @@ fn parse_args() -> Opts {
             }
             "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
             "--help" | "-h" => {
-                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve backends hostperf overload trace throughput all");
+                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve backends hostperf overload trace throughput fleet all");
                 println!("flags:   --full (paper-scale sweep)  --smoke (tiny CI sizes)  --k K  --out DIR");
                 std::process::exit(0);
             }
@@ -179,6 +182,102 @@ fn main() {
     // allocation-free serving path; explicit-only (--smoke for CI).
     if opts.target == "throughput" {
         throughput(&opts, seed);
+    }
+    // fleet serves the same batch over single-device and multi-device
+    // topologies, with and without a certain device loss; explicit-only
+    // (--smoke for CI).
+    if opts.target == "fleet" {
+        fleet(&opts, seed);
+    }
+}
+
+/// Extension: heterogeneous device fleets — the same batch served by
+/// one K20x, three K20x, and the K20x/K40/K2000 pool, then the
+/// robustness headline: the heterogeneous pool serving *through* a
+/// certain loss of its K20x member (failover onto standby slabs) vs the
+/// degraded CPU-tier floor a single-device deployment falls to when its
+/// only device dies. Emits `BENCH_fleet.json`.
+fn fleet(opts: &Opts, seed: u64) {
+    let (log2_n, k, batch): (u32, usize, usize) = if opts.smoke {
+        (12, 8, 12)
+    } else {
+        (14, 16, 32)
+    };
+    eprintln!("[fleet] n = 2^{log2_n}, k = {k}, batch = {batch}");
+
+    let rows = bench::fleet_sweep(log2_n, k, batch, seed);
+    let mut t = Table::new(
+        &format!("Fleet serving: topology and failure scenarios, batch of {batch}, n≈2^{log2_n}, k={k} (simulated)"),
+        &["scenario", "members", "done", "makespan", "req/s", "losses", "failovers", "standby", "cpu groups", "brownout"],
+    );
+    for p in &rows {
+        t.row(vec![
+            p.scenario.to_string(),
+            p.members.to_string(),
+            format!("{}/{}", p.completed, p.requests),
+            fmt_secs(p.makespan),
+            format!("{:.0}", p.throughput),
+            p.device_losses.to_string(),
+            p.failovers.to_string(),
+            p.standby_acquires.to_string(),
+            p.cpu_served_groups.to_string(),
+            p.brownout_groups.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "fleet");
+
+    let find = |name: &str| rows.iter().find(|p| p.scenario == name);
+    let ratio = if let (Some(fleet), Some(single)) = (find("hetero-loss"), find("single-loss")) {
+        let ratio = fleet.throughput / single.throughput.max(1e-12);
+        println!(
+            "served through device loss: fleet {} vs lone degraded device {} — {}",
+            fmt_ratio(fleet.throughput / find("single").map(|p| p.throughput).unwrap_or(1.0)),
+            fmt_ratio(single.throughput / find("single").map(|p| p.throughput).unwrap_or(1.0)),
+            fmt_ratio(ratio),
+        );
+        ratio
+    } else {
+        0.0
+    };
+
+    // Hand-rolled JSON (no serde_json in the vendored set).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!(
+        "  \"config\": {{\"log2_n\": {log2_n}, \"k\": {k}, \"batch\": {batch}}},\n"
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"members\": {}, \"requests\": {}, \"completed\": {}, \"makespan_ms\": {:.3}, \"throughput\": {:.3}, \"device_losses\": {}, \"failovers\": {}, \"standby_acquires\": {}, \"cpu_served_groups\": {}, \"brownout_groups\": {}, \"drains\": {}}}{}\n",
+            p.scenario,
+            p.members,
+            p.requests,
+            p.completed,
+            p.makespan * 1e3,
+            p.throughput,
+            p.device_losses,
+            p.failovers,
+            p.standby_acquires,
+            p.cpu_served_groups,
+            p.brownout_groups,
+            p.drains,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"served_through_failure\": {{\"fleet_throughput\": {:.3}, \"degraded_single_throughput\": {:.3}, \"ratio\": {ratio:.3}}}\n",
+        find("hetero-loss").map(|p| p.throughput).unwrap_or(0.0),
+        find("single-loss").map(|p| p.throughput).unwrap_or(0.0),
+    ));
+    json.push_str("}\n");
+    let _ = std::fs::create_dir_all(&opts.out);
+    let path = opts.out.join("BENCH_fleet.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }
 

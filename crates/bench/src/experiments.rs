@@ -585,7 +585,7 @@ pub fn serve_sweep(
                     cache_capacity: 8,
                     ..cusfft::ServeConfig::default()
                 },
-            );
+            ).expect("serve config is valid");
             let report = engine.serve_batch(&requests);
             ServePoint {
                 workers,
@@ -656,7 +656,7 @@ pub fn throughput_sweep(log2_n: u32, k: usize, batch: usize, seed: u64) -> Vec<T
                     ..cusfft::ServeConfig::default()
                 },
                 registry,
-            );
+            ).expect("serve config is valid");
             let report = engine.serve_batch(&requests);
             let mut perm_txns = 0.0;
             let mut total_txns = 0.0;
@@ -791,7 +791,7 @@ pub fn overload_sweep(
                     faults: Some(gpu_sim::FaultConfig::uniform(seed, 0.002).with_sdc(0.01)),
                     ..cusfft::ServeConfig::default()
                 },
-            );
+            ).expect("serve config is valid");
             let report = engine.serve_overload(&trace, &policy);
             let ov = report.overload;
             let n = trace.len() as f64;
@@ -853,7 +853,7 @@ pub fn breaker_vs_retry(log2_n: u32, k: usize, batch: usize, seed: u64) -> (f64,
         faults: Some(gpu_sim::FaultConfig::persistent(seed)),
         ..cusfft::ServeConfig::default()
     };
-    let breaker = cusfft::ServeEngine::new(DeviceSpec::tesla_k20x(), cfg);
+    let breaker = cusfft::ServeEngine::new(DeviceSpec::tesla_k20x(), cfg).expect("serve config is valid");
     let policy = cusfft::OverloadConfig {
         queue_capacity: batch.max(1),
         brownout_depth: batch.max(1),
@@ -869,7 +869,7 @@ pub fn breaker_vs_retry(log2_n: u32, k: usize, batch: usize, seed: u64) -> (f64,
         ..cusfft::OverloadConfig::default()
     };
     let over = breaker.serve_overload(&trace, &policy);
-    let retry = cusfft::ServeEngine::new(DeviceSpec::tesla_k20x(), cfg);
+    let retry = cusfft::ServeEngine::new(DeviceSpec::tesla_k20x(), cfg).expect("serve config is valid");
     let legacy = retry.serve_batch(&requests);
     (over.throughput, legacy.throughput)
 }
@@ -914,7 +914,7 @@ pub fn backend_sweep(log2_n: u32, k: usize, batch: usize, seed: u64) -> Vec<Back
                 cache_capacity: 8,
                 ..ServeConfig::default()
             },
-        )
+        ).expect("serve config is valid")
         .serve_batch(&reqs)
     };
 
@@ -952,6 +952,95 @@ pub fn backend_sweep(log2_n: u32, k: usize, batch: usize, seed: u64) -> Vec<Back
             }
         })
         .collect()
+}
+
+/// One row of the fleet serving experiment: a fleet topology/failure
+/// scenario serving the standard batch, with the routing and failover
+/// counters that explain the throughput it achieved.
+#[derive(Debug, Clone)]
+pub struct FleetPoint {
+    /// Scenario label (`single`, `hetero-3`, `hetero-loss`, ...).
+    pub scenario: &'static str,
+    /// Fleet members.
+    pub members: usize,
+    /// Requests served.
+    pub requests: usize,
+    /// Requests that completed (fleet serving never sheds).
+    pub completed: usize,
+    /// Simulated makespan: the slowest member lane (or the CPU lane).
+    pub makespan: f64,
+    /// Requests per simulated second.
+    pub throughput: f64,
+    pub device_losses: u64,
+    pub failovers: u64,
+    pub standby_acquires: u64,
+    pub cpu_served_groups: u64,
+    pub brownout_groups: u64,
+    pub drains: u64,
+}
+
+fn fleet_point(
+    scenario: &'static str,
+    fleet: cusfft::FleetConfig,
+    requests: &[cusfft::ServeRequest],
+) -> FleetPoint {
+    let members = fleet.members.len();
+    let fleet = cusfft::DeviceFleet::new(
+        fleet,
+        cusfft::ServeConfig {
+            workers: 3,
+            cache_capacity: 8,
+            ..cusfft::ServeConfig::default()
+        },
+    )
+    .expect("fleet config is valid");
+    let report = fleet.serve(requests);
+    let completed = report
+        .outcomes
+        .iter()
+        .filter(|o| o.response().is_some())
+        .count();
+    FleetPoint {
+        scenario,
+        members,
+        requests: requests.len(),
+        completed,
+        makespan: report.makespan,
+        throughput: report.throughput,
+        device_losses: report.fleet.device_losses,
+        failovers: report.fleet.failovers,
+        standby_acquires: report.fleet.standby_acquires,
+        cpu_served_groups: report.fleet.cpu_served_groups,
+        brownout_groups: report.fleet.brownout_groups,
+        drains: report.fleet.drains,
+    }
+}
+
+/// The fleet serving experiment: the same batch served by (a) one K20x,
+/// (b) three K20x, (c) the heterogeneous K20x/K40/K2000 pool, (d) one
+/// K20x under certain device loss (every group completes on the CPU
+/// tier — the degraded floor a single-device deployment falls to), and
+/// (e) the heterogeneous pool with that same loss targeted at the K20x
+/// member (the survivors absorb its load through the standby slabs).
+///
+/// The robustness headline is (e) vs (d): serving *through* a device
+/// failure with a fleet, against losing the only device.
+pub fn fleet_sweep(log2_n: u32, k: usize, batch: usize, seed: u64) -> Vec<FleetPoint> {
+    let requests = serve_requests(log2_n, k, batch, seed);
+    let loss = gpu_sim::FaultConfig::uniform(seed, 0.0).with_device_loss(1.0);
+
+    let mut single_lossy = cusfft::FleetConfig::homogeneous(1);
+    single_lossy.members[0].faults = Some(loss);
+    let mut hetero_lossy = cusfft::FleetConfig::heterogeneous();
+    hetero_lossy.members[0].faults = Some(loss);
+
+    vec![
+        fleet_point("single", cusfft::FleetConfig::homogeneous(1), &requests),
+        fleet_point("homo-3", cusfft::FleetConfig::homogeneous(3), &requests),
+        fleet_point("hetero-3", cusfft::FleetConfig::heterogeneous(), &requests),
+        fleet_point("single-loss", single_lossy, &requests),
+        fleet_point("hetero-loss", hetero_lossy, &requests),
+    ]
 }
 
 #[cfg(test)]

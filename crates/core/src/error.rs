@@ -41,6 +41,14 @@ pub enum CusFftError {
     /// disabled: the request was short-circuited without touching the
     /// device.
     CircuitOpen,
+    /// An engine or fleet configuration was rejected at construction
+    /// (zero workers, empty fleet, zero-capacity device spec, standby
+    /// budget exceeding member memory, …). Nothing ran: the
+    /// configuration never produced an engine.
+    BadConfig {
+        /// Human-readable validation failure.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CusFftError {
@@ -59,6 +67,7 @@ impl std::fmt::Display for CusFftError {
             CusFftError::CircuitOpen => {
                 write!(f, "circuit breaker open: device path short-circuited")
             }
+            CusFftError::BadConfig { reason } => write!(f, "bad config: {reason}"),
         }
     }
 }
@@ -109,6 +118,14 @@ mod tests {
             reason: "signal length must match params.n".into(),
         };
         assert!(e.to_string().contains("length must match"));
+    }
+
+    #[test]
+    fn bad_config_displays_reason() {
+        let e = CusFftError::BadConfig {
+            reason: "fleet has no members".into(),
+        };
+        assert_eq!(e.to_string(), "bad config: fleet has no members");
     }
 
     #[test]

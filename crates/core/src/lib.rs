@@ -28,7 +28,11 @@
 //! * [`backend`] — pluggable execution backends behind a wasi-nn-style
 //!   registry ([`BackendRegistry`]): the simulated-GPU pipeline, the
 //!   CPU reference sFFT, and a dense-FFT oracle, all served through
-//!   one [`Backend`]/[`ExecutePlan`] contract.
+//!   one [`Backend`]/[`ExecutePlan`] contract;
+//! * [`fleet`] — heterogeneous device fleets over the serving layer:
+//!   deterministic fault-domain routing, device-loss failover onto
+//!   pre-reserved standby slabs, drain/recovery quarantine and
+//!   capacity brownout ([`DeviceFleet`]).
 //!
 //! ## Quick start
 //!
@@ -59,6 +63,7 @@ pub mod comb;
 pub mod cufft;
 pub mod cutoff;
 pub mod error;
+pub mod fleet;
 pub mod locate;
 pub mod observe;
 pub mod overload;
@@ -76,6 +81,7 @@ pub use backend::{
 };
 pub use cufft::{batched_fft_device, batched_fft_rows, cufft_dense_baseline, cufft_model_time};
 pub use error::CusFftError;
+pub use fleet::{DeviceFleet, FleetConfig, FleetDeviceInfo, FleetMemberConfig, FleetTally};
 pub use overload::{nominal_service, LatencyStats, OverloadConfig, OverloadTally, TimedRequest};
 pub use perm_filter::{choose_remap, chunk_plan, ChunkPlan, RemapChoice, RemapKind};
 pub use pipeline::{

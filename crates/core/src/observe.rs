@@ -57,6 +57,12 @@ pub fn span_tree(report: &ServeReport) -> SpanTree {
             if g.hedged {
                 attrs.push(("hedged".to_string(), "true".to_string()));
             }
+            // Fleet reports say which member executed the group
+            // (`device` is always None outside the fleet path, so
+            // non-fleet span trees are byte-identical to before).
+            if let Some(m) = g.device {
+                attrs.push(("device".to_string(), m.to_string()));
+            }
             GroupMeta {
                 gid: g.gid,
                 label: format!(
@@ -110,8 +116,28 @@ pub fn span_tree(report: &ServeReport) -> SpanTree {
 pub fn metrics_registry(report: &ServeReport) -> Registry {
     let mut r = Registry::new();
 
+    // Fleet reports label served requests with the member that executed
+    // them (`<id>/<spec>`, or `cpu` for CPU-tier groups). Non-fleet
+    // reports have no devices and keep the legacy label set, so their
+    // exports stay byte-identical.
+    let device_of_request: Vec<Option<String>> = if report.devices.is_empty() {
+        vec![None; report.outcomes.len()]
+    } else {
+        let mut by_request = vec![None; report.outcomes.len()];
+        for g in &report.group_info {
+            let label = match g.device {
+                Some(m) => format!("{}/{}", m, report.devices[m].spec_name),
+                None => "cpu".to_string(),
+            };
+            for &idx in &g.indices {
+                by_request[idx] = Some(label.clone());
+            }
+        }
+        by_request
+    };
+
     // Request outcomes and served paths.
-    for o in &report.outcomes {
+    for (idx, o) in report.outcomes.iter().enumerate() {
         r.counter_add(
             "cusfft_requests_total",
             "Requests by terminal outcome",
@@ -119,15 +145,85 @@ pub fn metrics_registry(report: &ServeReport) -> Registry {
             1,
         );
         if let Some(resp) = o.response() {
+            let help = "Completed requests by execution path, QoS tier and backend";
+            let base = [
+                ("path", resp.path.label()),
+                ("qos", resp.qos.label()),
+                ("backend", resp.backend.label()),
+            ];
+            match &device_of_request[idx] {
+                Some(device) => {
+                    let mut labels = base.to_vec();
+                    labels.push(("device", device));
+                    r.counter_add("cusfft_served_total", help, &labels, 1);
+                }
+                None => r.counter_add("cusfft_served_total", help, &base, 1),
+            }
+        }
+    }
+
+    // Fleet routing/failover counters, gated on the fleet path so
+    // non-fleet registries are unchanged.
+    if !report.devices.is_empty() {
+        let fl = &report.fleet;
+        let fleet_help = "Fleet routing and failure-lifecycle events";
+        for (kind, value) in [
+            ("routed_group", fl.routed_groups),
+            ("failover", fl.failovers),
+            ("device_loss", fl.device_losses),
+            ("drain", fl.drains),
+            ("drain_probe", fl.drain_probes),
+            ("brownout_group", fl.brownout_groups),
+            ("cpu_served_group", fl.cpu_served_groups),
+            ("standby_acquire", fl.standby_acquires),
+            ("standby_exhausted", fl.standby_exhausted),
+        ] {
+            r.counter_add("cusfft_fleet_events_total", fleet_help, &[("kind", kind)], value);
+        }
+        for d in &report.devices {
+            let device = format!("{}/{}", d.id, d.spec_name);
+            let labels = [("device", device.as_str())];
             r.counter_add(
-                "cusfft_served_total",
-                "Completed requests by execution path, QoS tier and backend",
-                &[
-                    ("path", resp.path.label()),
-                    ("qos", resp.qos.label()),
-                    ("backend", resp.backend.label()),
-                ],
-                1,
+                "cusfft_fleet_device_groups_total",
+                "Groups executed per fleet member",
+                &labels,
+                d.groups,
+            );
+            r.counter_add(
+                "cusfft_fleet_device_failovers_in_total",
+                "Failover groups absorbed per fleet member",
+                &labels,
+                d.failovers_in,
+            );
+            r.counter_add(
+                "cusfft_fleet_device_trips_total",
+                "Breaker trips per fleet member",
+                &labels,
+                d.trips,
+            );
+            r.gauge_set(
+                "cusfft_fleet_device_health",
+                "Fault-severity health score per fleet member (1 = clean)",
+                &labels,
+                d.health,
+            );
+            r.gauge_set(
+                "cusfft_fleet_device_busy_seconds",
+                "Virtual-clock busy time per fleet member",
+                &labels,
+                d.busy,
+            );
+            r.gauge_set(
+                "cusfft_fleet_device_lost",
+                "Whether the member went dark this call",
+                &labels,
+                if d.lost { 1.0 } else { 0.0 },
+            );
+            r.gauge_set(
+                "cusfft_fleet_device_drained",
+                "Whether the member ended the call quarantined",
+                &labels,
+                if d.drained { 1.0 } else { 0.0 },
             );
         }
     }

@@ -205,25 +205,27 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx.clamp(1, len) - 1]
 }
 
-/// One group's execution on its private device.
-struct GroupRun {
-    gid: usize,
+/// One group's execution on its private device. `pub(crate)` because
+/// the fleet router (`crate::fleet`) schedules the same unit of work
+/// across heterogeneous members.
+pub(crate) struct GroupRun {
+    pub(crate) gid: usize,
     /// `(request index, outcome)` for every member.
-    results: Vec<(usize, RequestOutcome)>,
+    pub(crate) results: Vec<(usize, RequestOutcome)>,
     /// The private device's op recording (empty when short-circuited).
-    ops: Vec<Op>,
-    tally: FaultTally,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) tally: FaultTally,
     /// Whether the device injected any fault — the breaker's signal.
-    faulted: bool,
+    pub(crate) faulted: bool,
     /// Simulated makespan of this group's ops alone; the hedging race
     /// and the latency model are decided on it.
-    duration: f64,
+    pub(crate) duration: f64,
     /// True when the breaker kept this group off the device.
-    short_circuit: bool,
+    pub(crate) short_circuit: bool,
     /// Kernel/pool telemetry of this run (empty when short-circuited or
     /// the worker was lost; a losing hedge's telemetry is discarded
     /// with its results).
-    tel: GroupTelemetry,
+    pub(crate) tel: GroupTelemetry,
 }
 
 /// Executes one group on a fresh private device. Freshness is what
@@ -236,7 +238,25 @@ fn run_group_on_fresh_device(
     requests: &[ServeRequest],
     hedged: bool,
 ) -> GroupRun {
-    let device = worker_device(spec, cfg.faults.as_ref());
+    run_group_on_device(spec, cfg.faults.as_ref(), 0, cfg, group, requests, hedged)
+}
+
+/// [`run_group_on_fresh_device`] with an explicit fault plan and fault-
+/// domain salt: the fleet path provisions each run with its *member's*
+/// plan and salt (see [`gpu_sim::GpuDevice::set_fault_scope_salt`]), so
+/// the same group rolls independent fault timelines on different
+/// members.
+pub(crate) fn run_group_on_device(
+    spec: &DeviceSpec,
+    faults: Option<&gpu_sim::FaultConfig>,
+    scope_salt: u64,
+    cfg: &ServeConfig,
+    group: &Group,
+    requests: &[ServeRequest],
+    hedged: bool,
+) -> GroupRun {
+    let device = worker_device(spec, faults);
+    device.set_fault_scope_salt(scope_salt);
     let streams = ExecStreams::on_device_private(&device, group.plan.num_streams());
     let mut tally = FaultTally::default();
     let results = run_group(&device, group, requests, &streams, cfg, &mut tally, hedged);
@@ -315,7 +335,7 @@ fn execute_wave<'g>(
 /// CPU failover for a group whose worker thread died: serve every
 /// member on the CPU path (or fail them typed). The recording is lost
 /// with the worker.
-fn recover_group_loss(
+pub(crate) fn recover_group_loss(
     group: &Group,
     requests: &[ServeRequest],
     cfg: &ServeConfig,
@@ -690,6 +710,7 @@ impl ServeEngine {
                     .map(|r| r.short_circuit)
                     .unwrap_or(false),
                 hedged: hedged_gids.contains(&g.gid),
+                device: None,
             })
             .collect();
         let mut tels: Vec<GroupTelemetry> = Vec::new();
@@ -738,6 +759,8 @@ impl ServeEngine {
             arrivals: trace.iter().map(|t| t.arrival).collect(),
             kernels,
             pool,
+            fleet: crate::fleet::FleetTally::default(),
+            devices: Vec::new(),
         }
     }
 }
@@ -745,7 +768,7 @@ impl ServeEngine {
 /// Folds per-request `(path, qos, latency)` samples into deterministic
 /// per-class summaries, scanning classes in a fixed order and keeping
 /// only the non-empty ones.
-fn path_latency_summary(samples: &[(ServePath, ServeQos, f64)]) -> Vec<PathLatency> {
+pub(crate) fn path_latency_summary(samples: &[(ServePath, ServeQos, f64)]) -> Vec<PathLatency> {
     const CLASSES: [(ServePath, ServeQos); 6] = [
         (ServePath::Gpu, ServeQos::Full),
         (ServePath::Gpu, ServeQos::Degraded),

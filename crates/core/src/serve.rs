@@ -356,6 +356,11 @@ pub struct GroupInfo {
     pub short_circuit: bool,
     /// Whether a speculative hedge duplicate ran (overload path).
     pub hedged: bool,
+    /// Fleet member the group executed on (`None` outside the fleet
+    /// path, and for fleet groups that were short-circuited to the CPU
+    /// tier without touching any device). Indexes
+    /// [`ServeReport::devices`].
+    pub device: Option<usize>,
 }
 
 /// Deterministic simulated-latency summary for one (path, QoS) class,
@@ -521,6 +526,12 @@ pub struct ServeReport {
     pub kernels: Vec<KernelRollup>,
     /// Device memory-pool and arena traffic summed over all groups.
     pub pool: PoolTally,
+    /// Fleet routing/failover counters (all zero outside
+    /// [`crate::fleet::DeviceFleet::serve`]).
+    pub fleet: crate::fleet::FleetTally,
+    /// Per-member fleet summaries, indexed by member id (empty outside
+    /// the fleet path). [`GroupInfo::device`] indexes into this.
+    pub devices: Vec<crate::fleet::FleetDeviceInfo>,
 }
 
 impl ServeReport {
@@ -579,22 +590,42 @@ pub struct ServeEngine {
 
 impl ServeEngine {
     /// Creates an engine simulating `spec` devices under `config`, with
-    /// all stock backends registered.
-    pub fn new(spec: DeviceSpec, config: ServeConfig) -> Self {
+    /// all stock backends registered. Rejects invalid configurations
+    /// with a typed [`CusFftError::BadConfig`] instead of panicking.
+    pub fn new(spec: DeviceSpec, config: ServeConfig) -> Result<Self, CusFftError> {
         Self::with_registry(spec, config, BackendRegistry::with_defaults())
     }
 
     /// Creates an engine with an explicit backend registry — requests
     /// naming an unregistered [`BackendKind`] fail typed at admission.
-    pub fn with_registry(spec: DeviceSpec, config: ServeConfig, registry: BackendRegistry) -> Self {
-        assert!(config.workers >= 1, "serve engine needs at least 1 worker");
-        ServeEngine {
+    /// Rejects invalid configurations with [`CusFftError::BadConfig`].
+    pub fn with_registry(
+        spec: DeviceSpec,
+        config: ServeConfig,
+        registry: BackendRegistry,
+    ) -> Result<Self, CusFftError> {
+        if config.workers < 1 {
+            return Err(CusFftError::BadConfig {
+                reason: "serve engine needs at least 1 worker".into(),
+            });
+        }
+        if config.cache_capacity < 1 {
+            return Err(CusFftError::BadConfig {
+                reason: "plan cache capacity must be at least 1".into(),
+            });
+        }
+        if spec.global_mem_bytes == 0 {
+            return Err(CusFftError::BadConfig {
+                reason: format!("device spec '{}' has zero memory capacity", spec.name),
+            });
+        }
+        Ok(ServeEngine {
             home: home_device(&spec),
             spec,
             cache: PlanCache::new(config.cache_capacity),
             config,
             registry,
-        }
+        })
     }
 
     /// The plan cache (counters persist across batches).
@@ -729,6 +760,7 @@ impl ServeEngine {
                 },
                 short_circuit: false,
                 hedged: false,
+                device: None,
             })
             .collect();
 
@@ -749,6 +781,8 @@ impl ServeEngine {
             arrivals: Vec::new(),
             kernels,
             pool,
+            fleet: crate::fleet::FleetTally::default(),
+            devices: Vec::new(),
         }
     }
 
@@ -756,7 +790,7 @@ impl ServeEngine {
     /// indices by plan, in first-appearance order. Requests that fail
     /// validation (the geometry the plan constructor would reject) are
     /// returned separately as typed failures instead of panicking.
-    fn group_requests(
+    pub(crate) fn group_requests(
         &self,
         requests: &[ServeRequest],
     ) -> (Vec<Group>, Vec<(usize, CusFftError)>) {
@@ -1196,7 +1230,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_empty_report() {
-        let engine = ServeEngine::new(DeviceSpec::tesla_k20x(), ServeConfig::default());
+        let engine = ServeEngine::new(DeviceSpec::tesla_k20x(), ServeConfig::default()).unwrap();
         let report = engine.serve_batch(&[]);
         assert!(report.outcomes.is_empty());
         assert_eq!(report.groups, 0);
@@ -1206,7 +1240,7 @@ mod tests {
 
     #[test]
     fn same_geometry_requests_share_one_plan_and_group() {
-        let engine = ServeEngine::new(DeviceSpec::tesla_k20x(), ServeConfig::default());
+        let engine = ServeEngine::new(DeviceSpec::tesla_k20x(), ServeConfig::default()).unwrap();
         let reqs: Vec<ServeRequest> = (0..4)
             .map(|i| request(1 << 10, 4, Variant::Optimized, 10 + i, 100 + i))
             .collect();
@@ -1231,7 +1265,7 @@ mod tests {
                 cache_capacity: 8,
                 ..ServeConfig::default()
             },
-        );
+        ).unwrap();
         let reqs = vec![
             request(1 << 10, 4, Variant::Optimized, 1, 11),
             request(1 << 11, 4, Variant::Optimized, 2, 22),
@@ -1265,7 +1299,7 @@ mod tests {
                 cache_capacity: 8,
                 ..ServeConfig::default()
             },
-        )
+        ).unwrap()
         .serve_batch(&reqs)
         .makespan;
         let two = ServeEngine::new(
@@ -1275,7 +1309,7 @@ mod tests {
                 cache_capacity: 8,
                 ..ServeConfig::default()
             },
-        )
+        ).unwrap()
         .serve_batch(&reqs)
         .makespan;
         assert!(
@@ -1297,7 +1331,7 @@ mod tests {
                 cache_capacity: 8,
                 ..ServeConfig::default()
             },
-        );
+        ).unwrap();
         // Alternate geometries so consecutive requests land in different
         // groups (and hence workers).
         let reqs: Vec<ServeRequest> = (0..6)
@@ -1325,7 +1359,7 @@ mod tests {
 
     #[test]
     fn invalid_requests_fail_typed_without_poisoning_the_batch() {
-        let engine = ServeEngine::new(DeviceSpec::tesla_k20x(), ServeConfig::default());
+        let engine = ServeEngine::new(DeviceSpec::tesla_k20x(), ServeConfig::default()).unwrap();
         let reqs = vec![
             request(1 << 10, 4, Variant::Optimized, 1, 11),
             // Non-power-of-two length: the plan constructor would panic.
@@ -1353,7 +1387,7 @@ mod tests {
                 faults: Some(FaultConfig::persistent(3)),
                 ..ServeConfig::default()
             },
-        );
+        ).unwrap();
         let reqs: Vec<ServeRequest> = (0..4)
             .map(|i| request(1 << 10, 4, Variant::Optimized, i, 100 + i))
             .collect();
@@ -1380,7 +1414,7 @@ mod tests {
                 cpu_fallback: false,
                 ..ServeConfig::default()
             },
-        );
+        ).unwrap();
         let reqs = vec![request(1 << 10, 4, Variant::Optimized, 1, 11)];
         let report = engine.serve_batch(&reqs);
         match report.outcomes[0].error() {
@@ -1393,7 +1427,7 @@ mod tests {
 
     #[test]
     fn requests_route_to_their_named_backend() {
-        let engine = ServeEngine::new(DeviceSpec::tesla_k20x(), ServeConfig::default());
+        let engine = ServeEngine::new(DeviceSpec::tesla_k20x(), ServeConfig::default()).unwrap();
         let reqs: Vec<ServeRequest> = BackendKind::all()
             .into_iter()
             .map(|b| request(1 << 10, 4, Variant::Optimized, 3, 17).with_backend(b))
@@ -1419,7 +1453,7 @@ mod tests {
             DeviceSpec::tesla_k20x(),
             ServeConfig::default(),
             registry,
-        );
+        ).unwrap();
         let reqs = vec![
             request(1 << 10, 4, Variant::Optimized, 1, 11),
             request(1 << 10, 4, Variant::Optimized, 2, 12).with_backend(BackendKind::DenseFft),

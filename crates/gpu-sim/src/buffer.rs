@@ -121,6 +121,14 @@ impl MemPool {
         self.used.fetch_sub(granule, Ordering::Relaxed);
         self.release_ops.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Returns a granule obtained from [`MemPool::try_reserve`]. For
+    /// callers holding raw reservations (the fleet router's predicted
+    /// working sets) rather than a [`DeviceBuffer`], whose drop releases
+    /// automatically.
+    pub fn release_reservation(&self, granule: u64) {
+        self.release(granule);
+    }
 }
 
 /// A typed allocation in simulated device memory.
@@ -436,6 +444,137 @@ impl<T> Drop for PooledBuffer<T> {
     }
 }
 
+/// Snapshot of a [`StandbySlabs`]' failover traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandbyStats {
+    /// Total slots reserved at build.
+    pub slots: usize,
+    /// Slots currently on loan.
+    pub in_use: usize,
+    /// Successful acquisitions (free-list pops; no `MemPool` traffic).
+    pub acquires: u64,
+    /// Slot returns.
+    pub releases: u64,
+    /// Acquisition attempts that found the free list empty.
+    pub exhausted: u64,
+    /// High-water mark of simultaneously loaned slots.
+    pub peak_in_use: u64,
+}
+
+/// Fixed-slot standby reservation for fleet failover, in the style of
+/// wasmtime's pooling allocator: every slot's device memory is reserved
+/// from the member's [`MemPool`] **when the fleet is built**, and a
+/// failover acquires a slot by popping an index off a free list —
+/// no `MemPool` traffic, no allocation fault gate, no hot-path
+/// allocation of any kind. If the free list is empty the acquisition
+/// fails loudly (`None`) and the caller falls back to the CPU tier;
+/// standby capacity is a provisioning decision, never an emergency
+/// allocation.
+#[derive(Debug)]
+pub struct StandbySlabs {
+    pool: Arc<MemPool>,
+    /// Granule actually reserved per slot (256-byte aligned request).
+    slot_granule: u64,
+    slots: usize,
+    /// LIFO free list of slot indices. The list state is a pure function
+    /// of the acquire/release call sequence (the fleet coordinator
+    /// serializes calls in gid order), so which slot a failover lands on
+    /// is deterministic.
+    free: Mutex<Vec<usize>>,
+    acquires: AtomicU64,
+    releases: AtomicU64,
+    exhausted: AtomicU64,
+    peak_in_use: AtomicU64,
+}
+
+impl StandbySlabs {
+    /// Reserves `slots` standby slabs of `slot_bytes` each against
+    /// `pool`, or reports a typed OOM (after releasing any partial
+    /// reservation) when the member cannot hold its standby budget.
+    pub fn new(pool: &Arc<MemPool>, slots: usize, slot_bytes: u64) -> Result<Self, GpuError> {
+        let mut reserved = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            match pool.try_reserve(slot_bytes) {
+                Ok(granule) => reserved.push(granule),
+                Err(e) => {
+                    for granule in reserved {
+                        pool.release(granule);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let slot_granule = reserved.first().copied().unwrap_or(0);
+        // Free list starts as [slots-1, …, 0] so the first acquisition
+        // takes slot 0 — a fixed, documented order.
+        let free: Vec<usize> = (0..slots).rev().collect();
+        Ok(StandbySlabs {
+            pool: Arc::clone(pool),
+            slot_granule,
+            slots,
+            free: Mutex::new(free),
+            acquires: AtomicU64::new(0),
+            releases: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+            peak_in_use: AtomicU64::new(0),
+        })
+    }
+
+    /// Acquires a standby slot — a free-list pop, no allocation. `None`
+    /// when every slot is on loan (counted in [`StandbyStats::exhausted`]).
+    pub fn acquire(&self) -> Option<usize> {
+        let mut free = self.free.lock();
+        match free.pop() {
+            Some(slot) => {
+                self.acquires.fetch_add(1, Ordering::Relaxed);
+                let in_use = (self.slots - free.len()) as u64;
+                self.peak_in_use.fetch_max(in_use, Ordering::Relaxed);
+                Some(slot)
+            }
+            None => {
+                self.exhausted.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Returns a slot to the free list.
+    ///
+    /// # Panics
+    /// When `slot` is out of range or already free — both indicate a
+    /// bookkeeping bug in the caller, not a runtime condition.
+    pub fn release(&self, slot: usize) {
+        assert!(slot < self.slots, "standby slot {slot} out of range");
+        let mut free = self.free.lock();
+        assert!(
+            !free.contains(&slot),
+            "standby slot {slot} released twice"
+        );
+        free.push(slot);
+        self.releases.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Traffic counters since build.
+    pub fn stats(&self) -> StandbyStats {
+        StandbyStats {
+            slots: self.slots,
+            in_use: self.slots - self.free.lock().len(),
+            acquires: self.acquires.load(Ordering::Relaxed),
+            releases: self.releases.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+            peak_in_use: self.peak_in_use.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for StandbySlabs {
+    fn drop(&mut self) {
+        for _ in 0..self.slots {
+            self.pool.release(self.slot_granule);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,5 +721,54 @@ mod tests {
         assert_eq!(pool.idle(), 0);
         assert_eq!(mem.used(), 0);
         assert_eq!(mem.release_ops(), 1);
+    }
+
+    #[test]
+    fn standby_slabs_reserve_at_build_and_acquire_without_traffic() {
+        let mem = Arc::new(MemPool::new(8192));
+        let slabs = StandbySlabs::new(&mem, 3, 1024).unwrap();
+        // All standby memory is reserved up front.
+        assert_eq!(mem.used(), 3 * 1024);
+        let alloc_at_build = mem.alloc_ops();
+        assert_eq!(alloc_at_build, 3);
+        // Acquisition order is fixed (slot 0 first) and touches no pool.
+        assert_eq!(slabs.acquire(), Some(0));
+        assert_eq!(slabs.acquire(), Some(1));
+        assert_eq!(slabs.acquire(), Some(2));
+        assert_eq!(slabs.acquire(), None, "exhausted fleet fails loudly");
+        assert_eq!(mem.alloc_ops(), alloc_at_build);
+        assert_eq!(mem.release_ops(), 0);
+        slabs.release(1);
+        assert_eq!(slabs.acquire(), Some(1), "LIFO reuse of returned slots");
+        let stats = slabs.stats();
+        assert_eq!(stats.slots, 3);
+        assert_eq!(stats.in_use, 3);
+        assert_eq!(stats.acquires, 4);
+        assert_eq!(stats.releases, 1);
+        assert_eq!(stats.exhausted, 1);
+        assert_eq!(stats.peak_in_use, 3);
+        // Dropping the slabs returns the reservation to the pool.
+        drop(slabs);
+        assert_eq!(mem.used(), 0);
+        assert_eq!(mem.release_ops(), 3);
+    }
+
+    #[test]
+    fn standby_slabs_oom_is_typed_and_leak_free() {
+        let mem = Arc::new(MemPool::new(2048));
+        let err = StandbySlabs::new(&mem, 3, 1024).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { .. }));
+        // The partial reservation was rolled back.
+        assert_eq!(mem.used(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "released twice")]
+    fn standby_double_release_panics() {
+        let mem = Arc::new(MemPool::new(8192));
+        let slabs = StandbySlabs::new(&mem, 2, 256).unwrap();
+        let s = slabs.acquire().unwrap();
+        slabs.release(s);
+        slabs.release(s);
     }
 }

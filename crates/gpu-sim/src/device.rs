@@ -103,6 +103,12 @@ struct DeviceState {
     /// Installed fault plan, if any. Lives under the state lock so fault
     /// ordinals are consumed in op-enqueue order.
     fault: Option<FaultState>,
+    /// Fault-domain salt XOR-ed into every scope passed to
+    /// [`GpuDevice::set_fault_scope`]. 0 = no salt. The fleet layer sets
+    /// a per-member salt in the high bits (≥ 44, disjoint from the
+    /// serving layer's group/retry scope layout) so the same group rolls
+    /// an independent fault timeline on each device it lands on.
+    fault_scope_salt: u64,
     /// Current attribution tag stamped onto every enqueued op (see
     /// [`Op::tag`]). 0 = untagged.
     op_tag: u64,
@@ -130,6 +136,7 @@ impl GpuDevice {
                 events: Vec::new(),
                 pending_waits: Vec::new(),
                 fault: None,
+                fault_scope_salt: 0,
                 op_tag: 0,
             }),
         }
@@ -173,8 +180,24 @@ impl GpuDevice {
     /// scope)`, independent of what ran on this device before. No-op
     /// without an installed plan.
     pub fn set_fault_scope(&self, scope: u64) {
-        if let Some(f) = self.state.lock().fault.as_mut() {
-            f.set_scope(scope);
+        let mut st = self.state.lock();
+        let salt = st.fault_scope_salt;
+        if let Some(f) = st.fault.as_mut() {
+            f.set_scope(scope ^ salt);
+        }
+    }
+
+    /// Installs a fault-domain salt XOR-ed into every subsequent
+    /// [`GpuDevice::set_fault_scope`] call (and applied to the current
+    /// scope immediately). The fleet layer gives each member a salt in
+    /// the high scope bits so identical workloads roll independent fault
+    /// timelines per device — that is what makes fleet members distinct
+    /// *fault domains* rather than replicas that all fail together.
+    pub fn set_fault_scope_salt(&self, salt: u64) {
+        let mut st = self.state.lock();
+        st.fault_scope_salt = salt;
+        if let Some(f) = st.fault.as_mut() {
+            f.set_scope(salt);
         }
     }
 
@@ -1311,6 +1334,36 @@ mod tests {
         b.set_fault_scope(77);
         let _ = b.try_htod(&[0u32; 8], DEFAULT_STREAM);
         assert_eq!(run(&a), run(&b), "scope decisions must not depend on history");
+    }
+
+    #[test]
+    fn scope_salt_makes_devices_distinct_fault_domains() {
+        let run = |salt: u64| -> Vec<bool> {
+            let dev = GpuDevice::new(DeviceSpec::test_tiny());
+            dev.install_fault_plan(FaultConfig::uniform(9, 0.5));
+            dev.set_fault_scope_salt(salt);
+            dev.set_fault_scope(3);
+            let host = vec![0u32; 64];
+            (0..32)
+                .map(|_| dev.try_htod(&host, DEFAULT_STREAM).is_err())
+                .collect()
+        };
+        assert_eq!(run(0), run(0), "unsalted decisions replay");
+        assert_eq!(run(1 << 44), run(1 << 44), "salted decisions replay");
+        assert_ne!(
+            run(1 << 44),
+            run(2 << 44),
+            "distinct salts must roll independent fault timelines"
+        );
+        // Salt 0 is the identity: legacy single-device behaviour intact.
+        let dev = GpuDevice::new(DeviceSpec::test_tiny());
+        dev.install_fault_plan(FaultConfig::uniform(9, 0.5));
+        dev.set_fault_scope(3);
+        let host = vec![0u32; 64];
+        let unsalted: Vec<bool> = (0..32)
+            .map(|_| dev.try_htod(&host, DEFAULT_STREAM).is_err())
+            .collect();
+        assert_eq!(unsalted, run(0));
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub enum FaultClass {
     /// `Ok` with wrong data, and only a result-integrity check (the
     /// serving layer's sampled residual check) can catch it.
     Sdc,
+    /// Whole-device loss: the device goes dark mid-epoch (XID-style
+    /// bus drop / firmware hang). Unlike the per-op classes above this
+    /// is never rolled by [`FaultState::decide`] on the op path — the
+    /// fleet layer rolls it directly via [`fault_roll`] at epoch
+    /// granularity with the member's device scope, so enabling it can
+    /// never shift the per-op fault timeline of existing workloads.
+    DeviceLoss,
 }
 
 impl FaultClass {
@@ -63,6 +70,7 @@ impl FaultClass {
             FaultClass::Timeout => 0x05,
             FaultClass::Ecc => 0x06,
             FaultClass::Sdc => 0x07,
+            FaultClass::DeviceLoss => 0x08,
         }
     }
 
@@ -76,6 +84,7 @@ impl FaultClass {
             FaultClass::Timeout => "timeout",
             FaultClass::Ecc => "ecc",
             FaultClass::Sdc => "sdc",
+            FaultClass::DeviceLoss => "device_loss",
         }
     }
 }
@@ -109,6 +118,12 @@ pub struct FaultConfig {
     /// / [`FaultConfig::persistent`]) — opt in with
     /// [`FaultConfig::with_sdc`].
     pub sdc_rate: f64,
+    /// Whole-device loss per scheduling epoch. Off by default (including
+    /// in [`FaultConfig::uniform`] / [`FaultConfig::persistent`]) — opt
+    /// in with [`FaultConfig::with_device_loss`]. Rolled by the fleet
+    /// layer per `(device scope, epoch)`, never on the op path, so
+    /// enabling it does not shift per-op fault decisions.
+    pub device_loss_rate: f64,
     /// Simulated seconds a timed-out kernel holds the device before the
     /// watchdog kills it (charged on the timeline).
     pub timeout_s: f64,
@@ -126,6 +141,7 @@ impl FaultConfig {
             timeout_rate: rate,
             ecc_rate: rate,
             sdc_rate: 0.0,
+            device_loss_rate: 0.0,
             timeout_s: 1e-3,
         }
     }
@@ -137,6 +153,16 @@ impl FaultConfig {
     /// recovery.
     pub fn with_sdc(mut self, rate: f64) -> Self {
         self.sdc_rate = rate;
+        self
+    }
+
+    /// Enables whole-device loss at `rate` per scheduling epoch. Kept
+    /// out of [`FaultConfig::uniform`] because device loss is a fleet-
+    /// level event: only the fleet router can do anything about it
+    /// (failover), and single-device workloads enabling it would simply
+    /// dead-end.
+    pub fn with_device_loss(mut self, rate: f64) -> Self {
+        self.device_loss_rate = rate;
         self
     }
 
@@ -156,6 +182,7 @@ impl FaultConfig {
             FaultClass::Timeout => self.timeout_rate,
             FaultClass::Ecc => self.ecc_rate,
             FaultClass::Sdc => self.sdc_rate,
+            FaultClass::DeviceLoss => self.device_loss_rate,
         }
     }
 }
@@ -356,6 +383,31 @@ mod tests {
         assert_eq!(st.decide(&[FaultClass::D2h, FaultClass::Ecc]), None);
         let hit = st.decide(&[FaultClass::D2h, FaultClass::Ecc, FaultClass::Sdc]);
         assert_eq!(hit.map(|(c, _)| c), Some(FaultClass::Sdc));
+    }
+
+    #[test]
+    fn device_loss_is_opt_in_and_off_the_op_path() {
+        // uniform()/persistent() leave device loss off, and enabling it
+        // never shifts op-path decisions because decide() never lists it.
+        assert_eq!(FaultConfig::uniform(1, 0.5).device_loss_rate, 0.0);
+        assert_eq!(FaultConfig::persistent(1).device_loss_rate, 0.0);
+        let cfg = FaultConfig::uniform(1, 0.3);
+        let mut a = FaultState::new(cfg);
+        let mut b = FaultState::new(cfg.with_device_loss(1.0));
+        for _ in 0..200 {
+            assert_eq!(
+                a.decide(&[FaultClass::Launch, FaultClass::Timeout]),
+                b.decide(&[FaultClass::Launch, FaultClass::Timeout])
+            );
+        }
+        // The fleet rolls it directly; the roll is pure and class-salted.
+        assert_eq!(FaultClass::DeviceLoss.label(), "device_loss");
+        let r = fault_roll(7, 42, 0, FaultClass::DeviceLoss);
+        assert_eq!(r.to_bits(), fault_roll(7, 42, 0, FaultClass::DeviceLoss).to_bits());
+        assert_ne!(
+            r.to_bits(),
+            fault_roll(7, 42, 0, FaultClass::Timeout).to_bits()
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub use atomic::{DevAtomicCplx, DevAtomicF64, DevAtomicU32};
 pub use breaker::{
     BreakerConfig, BreakerDecision, BreakerState, BreakerTransition, CircuitBreaker,
 };
-pub use buffer::{BufferPool, BufferPoolStats, DeviceBuffer, MemPool, PooledBuffer};
+pub use buffer::{
+    BufferPool, BufferPoolStats, DeviceBuffer, MemPool, PooledBuffer, StandbySlabs, StandbyStats,
+};
 pub use cost::{kernel_cost, transfer_time, KernelCost};
 pub use device::{GpuDevice, LaunchRecord, DEFAULT_STREAM};
 pub use error::{GpuError, TransferDir};

@@ -106,6 +106,24 @@ impl DeviceSpec {
         }
     }
 
+    /// NVIDIA Quadro K2000 — a slow/cheap Kepler (GK107) used as the
+    /// budget tier of heterogeneous fleet studies: 2 SMX, 384 cores,
+    /// 954 MHz, 2 GB, 64 GB/s.
+    pub fn quadro_k2000() -> Self {
+        DeviceSpec {
+            name: "Quadro K2000".into(),
+            compute_capability: 3.0,
+            sm_count: 2,
+            clock_ghz: 0.954,
+            global_mem_bytes: 2 * 1024 * 1024 * 1024,
+            l2_bytes: 256 * 1024,
+            mem_bandwidth: 64.0e9,
+            max_concurrent_kernels: 16,
+            fp64_ratio: 1.0 / 24.0,
+            ..Self::tesla_k20x()
+        }
+    }
+
     /// A deliberately tiny device for unit tests: small enough that
     /// occupancy limits and concurrency caps are hit by toy kernels.
     pub fn test_tiny() -> Self {
@@ -258,6 +276,16 @@ mod tests {
         assert!(b.sm_count > a.sm_count);
         assert!(b.mem_bandwidth > a.mem_bandwidth);
         assert_eq!(b.warp_size, a.warp_size);
+    }
+
+    #[test]
+    fn k2000_is_the_budget_tier() {
+        let cheap = DeviceSpec::quadro_k2000();
+        let k20x = DeviceSpec::tesla_k20x();
+        assert!(cheap.peak_fp64_flops() < k20x.peak_fp64_flops() / 4.0);
+        assert!(cheap.mem_bandwidth < k20x.mem_bandwidth);
+        assert!(cheap.global_mem_bytes < k20x.global_mem_bytes);
+        assert_eq!(cheap.warp_size, k20x.warp_size);
     }
 
     #[test]

@@ -179,6 +179,8 @@ pub fn op_category(label: &str, engine: Engine) -> &'static str {
         "fault"
     } else if label.starts_with("breaker:") {
         "breaker"
+    } else if label.starts_with("fleet:") {
+        "fleet"
     } else if label.starts_with("shed:") {
         "admission"
     } else if label == "retry_backoff" || label == "cpu_fallback" {

@@ -39,7 +39,7 @@ fn main() {
             cache_capacity: 8,
             ..ServeConfig::default()
         },
-    );
+    ).expect("serve config is valid");
 
     // First batch: every geometry misses once, then hits.
     let report = engine.serve_batch(&requests);
@@ -66,7 +66,7 @@ fn main() {
             faults: Some(FaultConfig::uniform(42, 0.002)),
             ..ServeConfig::default()
         },
-    );
+    ).expect("serve config is valid");
     let report3 = flaky.serve_batch(&requests);
     println!("\nsame batch, 0.2% fault rate on every device op:");
     print_report(&report3);

@@ -99,7 +99,7 @@ fn serve(reqs: &[ServeRequest], workers: usize, faults: Option<FaultConfig>) -> 
             faults,
             ..ServeConfig::default()
         },
-    );
+    ).expect("serve config is valid");
     engine.serve_batch(reqs)
 }
 

@@ -59,7 +59,7 @@ fn engine(workers: usize, faults: Option<FaultConfig>) -> ServeEngine {
             faults,
             ..ServeConfig::default()
         },
-    )
+    ).expect("serve config is valid")
 }
 
 /// Runs `f` on a dedicated host pool of the given width (the same

@@ -149,7 +149,7 @@ fn serve_engine_identical_across_pool_sizes() {
                 cache_capacity: 8,
                 ..ServeConfig::default()
             },
-        )
+        ).expect("serve config is valid")
         .serve_batch(&reqs)
     };
     let reference = with_pool(1, serve);

@@ -29,7 +29,7 @@ fn engine(kind: RemapKind, faults: Option<FaultConfig>) -> ServeEngine {
             ..ServeConfig::default()
         },
         registry,
-    )
+    ).expect("serve config is valid")
 }
 
 fn batch(n: usize, width: usize) -> Vec<ServeRequest> {

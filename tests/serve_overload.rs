@@ -70,7 +70,7 @@ fn engine(workers: usize, faults: Option<FaultConfig>) -> ServeEngine {
             faults,
             ..ServeConfig::default()
         },
-    )
+    ).expect("serve config is valid")
 }
 
 /// Runs `f` on a dedicated host pool of the given width.
@@ -197,7 +197,7 @@ fn breaker_opens_and_beats_retry_every_request() {
         epoch_groups: 2,
         ..permissive_policy()
     };
-    let over = ServeEngine::new(DeviceSpec::tesla_k20x(), config)
+    let over = ServeEngine::new(DeviceSpec::tesla_k20x(), config).expect("serve config is valid")
         .serve_overload(&trace_at_zero(reqs.clone()), &policy);
     assert!(
         over.breaker.iter().any(|t| t.to == BreakerState::Open),
@@ -214,7 +214,7 @@ fn breaker_opens_and_beats_retry_every_request() {
         assert_eq!(r.path, ServePath::Cpu, "persistent faults end on the CPU");
     }
 
-    let legacy = ServeEngine::new(DeviceSpec::tesla_k20x(), config).serve_batch(&reqs);
+    let legacy = ServeEngine::new(DeviceSpec::tesla_k20x(), config).expect("serve config is valid").serve_batch(&reqs);
     assert!(
         legacy.outcomes.iter().all(|o| o.response().is_some()),
         "both layers complete everything"

@@ -78,7 +78,7 @@ fn stress_report(workers: usize) -> ServeReport {
             faults: Some(FaultConfig::uniform(fault_seed(), 0.02).with_sdc(0.05)),
             ..ServeConfig::default()
         },
-    );
+    ).expect("serve config is valid");
     engine.serve_overload(&trace, &policy)
 }
 

@@ -24,6 +24,10 @@
 //!   fleet     heterogeneous device-fleet serving: topology comparison
 //!             plus serving *through* a device loss vs the degraded
 //!             single-device floor (explicit-only — `--smoke` for CI)
+//!   chaos     deterministic chaos exploration: fault seed × rate grid ×
+//!             host-crash epoch × fleet device loss, invariant suite +
+//!             minimal-schedule shrinking and measured recovery
+//!             overhead (explicit-only — `--smoke` for CI)
 //!   all       everything above except the explicit-only targets (default)
 //! ```
 //!
@@ -65,7 +69,7 @@ fn parse_args() -> Opts {
             }
             "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
             "--help" | "-h" => {
-                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve backends hostperf overload trace throughput fleet all");
+                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve backends hostperf overload trace throughput fleet chaos all");
                 println!("flags:   --full (paper-scale sweep)  --smoke (tiny CI sizes)  --k K  --out DIR");
                 std::process::exit(0);
             }
@@ -188,6 +192,105 @@ fn main() {
     // (--smoke for CI).
     if opts.target == "fleet" {
         fleet(&opts, seed);
+    }
+    // chaos explores the fault/crash/fleet failure space end-to-end,
+    // checking the serving invariant suite and shrinking any violation
+    // to a minimal replayable schedule; explicit-only (--smoke for CI).
+    if opts.target == "chaos" {
+        chaos(&opts);
+    }
+}
+
+/// Extension: deterministic chaos exploration — every schedule in the
+/// smoke/full space runs serve/journal/fleet end-to-end under its fault
+/// seed, rate vector, injected host-crash epoch and device loss; the
+/// invariant suite (outcome bijection, oracle integrity, recovery
+/// invisibility, worker invariance, replay stability) must hold on all
+/// of them. Emits `BENCH_chaos.json`, plus `chaos_minimal.json` with
+/// the shrunken schedules if anything failed.
+fn chaos(opts: &Opts) {
+    let smoke = !opts.full;
+    eprintln!(
+        "[chaos] exploring the {} schedule space",
+        if smoke { "smoke" } else { "full" }
+    );
+    let sweep = bench::chaos_sweep(smoke);
+
+    let mut t = Table::new(
+        "Chaos exploration: deterministic fault/crash/fleet schedules vs the serving invariant suite",
+        &["metric", "value"],
+    );
+    t.row(vec!["schedules explored".into(), sweep.explored.to_string()]);
+    t.row(vec![
+        "invariant checks".into(),
+        sweep.invariants_checked.to_string(),
+    ]);
+    t.row(vec!["violations".into(), sweep.violations.len().to_string()]);
+    t.row(vec!["crash/recovery runs".into(), sweep.crash_runs.to_string()]);
+    t.row(vec![
+        "mean recovery overhead".into(),
+        format!("{:+.1}%", sweep.mean_recovery_overhead * 100.0),
+    ]);
+    t.row(vec![
+        "max recovery overhead".into(),
+        format!("{:+.1}%", sweep.max_recovery_overhead * 100.0),
+    ]);
+    print!("{}", t.render());
+    let _ = t.write_csv(&opts.out, "chaos");
+
+    // Hand-rolled JSON (no serde_json in the vendored set).
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"space\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!("  \"explored\": {},\n", sweep.explored));
+    json.push_str(&format!(
+        "  \"invariants_checked\": {},\n",
+        sweep.invariants_checked
+    ));
+    json.push_str(&format!("  \"violations\": {},\n", sweep.violations.len()));
+    json.push_str(&format!(
+        "  \"recovery\": {{\"crash_runs\": {}, \"mean_overhead\": {:.6}, \"max_overhead\": {:.6}}},\n",
+        sweep.crash_runs, sweep.mean_recovery_overhead, sweep.max_recovery_overhead
+    ));
+    json.push_str("  \"minimal_failing_schedules\": [\n");
+    for (i, (labels, schedule)) in sweep.violations.iter().enumerate() {
+        let labels_json: Vec<String> = labels.iter().map(|l| format!("\"{l}\"")).collect();
+        json.push_str(&format!(
+            "    {{\"invariants\": [{}], \"schedule\": {}}}{}\n",
+            labels_json.join(", "),
+            schedule,
+            if i + 1 < sweep.violations.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let _ = std::fs::create_dir_all(&opts.out);
+    let path = opts.out.join("BENCH_chaos.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    // Violations also land in a dedicated replay artifact CI uploads.
+    if !sweep.violations.is_empty() {
+        let mut artifact = String::from("[\n");
+        for (i, (_, schedule)) in sweep.violations.iter().enumerate() {
+            artifact.push_str(&format!(
+                "  {}{}\n",
+                schedule,
+                if i + 1 < sweep.violations.len() { "," } else { "" }
+            ));
+        }
+        artifact.push_str("]\n");
+        let path = opts.out.join("chaos_minimal.json");
+        let _ = std::fs::write(&path, artifact);
+        eprintln!(
+            "INVARIANT VIOLATIONS: {} minimal schedule(s) written to {}",
+            sweep.violations.len(),
+            path.display()
+        );
+        std::process::exit(1);
     }
 }
 

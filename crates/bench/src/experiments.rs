@@ -1043,6 +1043,49 @@ pub fn fleet_sweep(log2_n: u32, k: usize, batch: usize, seed: u64) -> Vec<FleetP
     ]
 }
 
+/// Outcome of one chaos exploration, shaped for the reproduction
+/// harness: the sweep totals plus every minimized failing schedule as
+/// replayable JSON (empty when all invariants held).
+pub struct ChaosSweep {
+    /// Schedules explored end-to-end.
+    pub explored: usize,
+    /// Individual invariant checks performed.
+    pub invariants_checked: u64,
+    /// Crash schedules that measured a recovery overhead.
+    pub crash_runs: usize,
+    /// Mean relative recovery overhead across crash runs.
+    pub mean_recovery_overhead: f64,
+    /// Worst relative recovery overhead.
+    pub max_recovery_overhead: f64,
+    /// `(invariant labels, minimal schedule JSON)` per violating run.
+    pub violations: Vec<(Vec<String>, String)>,
+}
+
+/// Runs the chaos explorer over the smoke or full schedule space and
+/// folds the result into a [`ChaosSweep`]. Deterministic end to end —
+/// rerunning reproduces every counter bit-for-bit.
+pub fn chaos_sweep(smoke: bool) -> ChaosSweep {
+    let space = cusfft::chaos_space(smoke);
+    let report = cusfft::explore(&space);
+    ChaosSweep {
+        explored: report.explored,
+        invariants_checked: report.invariants_checked,
+        crash_runs: report.crash_runs,
+        mean_recovery_overhead: report.mean_recovery_overhead,
+        max_recovery_overhead: report.max_recovery_overhead,
+        violations: report
+            .violations
+            .iter()
+            .map(|v| {
+                (
+                    v.violations.iter().map(|i| i.label().to_string()).collect(),
+                    v.schedule.to_json(),
+                )
+            })
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

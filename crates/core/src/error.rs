@@ -41,6 +41,15 @@ pub enum CusFftError {
     /// disabled: the request was short-circuited without touching the
     /// device.
     CircuitOpen,
+    /// The request journal rejected a resume: the log is truncated,
+    /// structurally corrupt, duplicates a terminal record, or was
+    /// written for a different request batch (fingerprint mismatch).
+    /// Resuming from it could violate exactly-once delivery, so nothing
+    /// was re-executed.
+    Journal {
+        /// Human-readable diagnosis of the journal defect.
+        reason: String,
+    },
     /// An engine or fleet configuration was rejected at construction
     /// (zero workers, empty fleet, zero-capacity device spec, standby
     /// budget exceeding member memory, …). Nothing ran: the
@@ -67,6 +76,7 @@ impl std::fmt::Display for CusFftError {
             CusFftError::CircuitOpen => {
                 write!(f, "circuit breaker open: device path short-circuited")
             }
+            CusFftError::Journal { reason } => write!(f, "journal error: {reason}"),
             CusFftError::BadConfig { reason } => write!(f, "bad config: {reason}"),
         }
     }

@@ -284,11 +284,13 @@ impl std::fmt::Debug for DeviceFleet {
 impl DeviceFleet {
     /// Builds a fleet with all stock backends registered. Rejects
     /// invalid configurations with [`CusFftError::BadConfig`].
+    #[must_use = "the engine is returned, not installed; dropping it discards the construction"]
     pub fn new(fleet: FleetConfig, serve: ServeConfig) -> Result<Self, CusFftError> {
         Self::with_registry(fleet, serve, BackendRegistry::with_defaults())
     }
 
     /// Builds a fleet with an explicit backend registry.
+    #[must_use = "the engine is returned, not installed; dropping it discards the construction"]
     pub fn with_registry(
         fleet: FleetConfig,
         serve: ServeConfig,
@@ -953,6 +955,7 @@ impl DeviceFleet {
             pool,
             fleet: fleet_tally,
             devices,
+            journal: None,
         }
     }
 }

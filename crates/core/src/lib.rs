@@ -32,7 +32,14 @@
 //! * [`fleet`] — heterogeneous device fleets over the serving layer:
 //!   deterministic fault-domain routing, device-loss failover onto
 //!   pre-reserved standby slabs, drain/recovery quarantine and
-//!   capacity brownout ([`DeviceFleet`]).
+//!   capacity brownout ([`DeviceFleet`]);
+//! * [`journal`] — crash-consistent serving: a write-ahead request
+//!   journal with epoch checkpoints and exactly-once restart
+//!   ([`ServeEngine::serve_journaled`] / [`ServeEngine::resume_from`]);
+//! * [`chaos`] — a deterministic chaos explorer sweeping fault seeds,
+//!   rate grids, host-crash epochs and fleet device loss, checking a
+//!   reusable invariant suite and shrinking any violation to a minimal
+//!   replayable schedule ([`explore`]).
 //!
 //! ## Quick start
 //!
@@ -62,8 +69,10 @@ pub mod backend;
 pub mod comb;
 pub mod cufft;
 pub mod cutoff;
+pub mod chaos;
 pub mod error;
 pub mod fleet;
+pub mod journal;
 pub mod locate;
 pub mod observe;
 pub mod overload;
@@ -81,7 +90,15 @@ pub use backend::{
 };
 pub use cufft::{batched_fft_device, batched_fft_rows, cufft_dense_baseline, cufft_model_time};
 pub use error::CusFftError;
+pub use chaos::{
+    chaos_space, check_outcome_bijection, explore, shrink, ChaosOutcome, ChaosReport,
+    ChaosSchedule, ChaosSpace, InvariantViolation,
+};
 pub use fleet::{DeviceFleet, FleetConfig, FleetDeviceInfo, FleetMemberConfig, FleetTally};
+pub use journal::{
+    batch_fingerprint, Journal, JournalOptions, JournalRecord, JournalRun, JournalStats,
+    JournalTally, ServeCrash,
+};
 pub use overload::{nominal_service, LatencyStats, OverloadConfig, OverloadTally, TimedRequest};
 pub use perm_filter::{choose_remap, chunk_plan, ChunkPlan, RemapChoice, RemapKind};
 pub use pipeline::{

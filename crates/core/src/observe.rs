@@ -228,6 +228,32 @@ pub fn metrics_registry(report: &ServeReport) -> Registry {
         }
     }
 
+    // Journal/recovery counters, gated on the journaled paths so
+    // non-journal registries (and their goldens) are unchanged.
+    if let Some(j) = &report.journal {
+        let journal_help = "Request-journal write-ahead log and recovery events";
+        for (kind, value) in [
+            ("record_appended", j.records_appended),
+            ("checkpoint", j.checkpoints),
+            ("group_executed", j.groups_executed),
+            ("group_recovered", j.groups_recovered),
+            ("request_recovered", j.requests_recovered),
+        ] {
+            r.counter_add(
+                "cusfft_journal_events_total",
+                journal_help,
+                &[("kind", kind)],
+                value,
+            );
+        }
+        r.gauge_set(
+            "cusfft_journal_durable_bytes",
+            "Durable journal size after the call",
+            &[],
+            j.durable_bytes as f64,
+        );
+    }
+
     // Plan cache.
     let cache_help = "Plan cache counters";
     r.counter_add("cusfft_plan_cache_hits_total", cache_help, &[], report.cache.hits);

@@ -761,6 +761,7 @@ impl ServeEngine {
             pool,
             fleet: crate::fleet::FleetTally::default(),
             devices: Vec::new(),
+            journal: None,
         }
     }
 }

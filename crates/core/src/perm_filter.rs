@@ -160,6 +160,7 @@ impl std::error::Error for SharedMemOverflow {}
 /// (`B = √(nk/log n)` reaches thousands while 48 KB holds at most 3072
 /// complex-double bins per block).
 #[allow(clippy::too_many_arguments)]
+#[must_use = "this operation can fault; the error carries the recovery cue"]
 pub fn try_perm_filter_shared(
     device: &GpuDevice,
     signal: &DeviceBuffer<Cplx>,

@@ -269,6 +269,7 @@ impl CusFft {
     /// Fallible [`CusFft::execute`]: returns a typed error instead of
     /// panicking on malformed input or an injected device fault. On a
     /// fault-free device within capacity it never fails.
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_execute(&self, time: &[Cplx], seed: u64) -> Result<CusFftOutput, CusFftError> {
         self.try_execute_profiled(time, seed).map(|(out, _)| out)
     }
@@ -284,6 +285,7 @@ impl CusFft {
     }
 
     /// Fallible [`CusFft::execute_profiled`].
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_execute_profiled(
         &self,
         time: &[Cplx],

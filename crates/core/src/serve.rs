@@ -532,6 +532,9 @@ pub struct ServeReport {
     /// Per-member fleet summaries, indexed by member id (empty outside
     /// the fleet path). [`GroupInfo::device`] indexes into this.
     pub devices: Vec<crate::fleet::FleetDeviceInfo>,
+    /// Request-journal counters (`None` outside the journaled paths
+    /// [`ServeEngine::serve_journaled`] / [`ServeEngine::resume_from`]).
+    pub journal: Option<crate::journal::JournalTally>,
 }
 
 impl ServeReport {
@@ -592,6 +595,7 @@ impl ServeEngine {
     /// Creates an engine simulating `spec` devices under `config`, with
     /// all stock backends registered. Rejects invalid configurations
     /// with a typed [`CusFftError::BadConfig`] instead of panicking.
+    #[must_use = "the engine is returned, not installed; dropping it discards the construction"]
     pub fn new(spec: DeviceSpec, config: ServeConfig) -> Result<Self, CusFftError> {
         Self::with_registry(spec, config, BackendRegistry::with_defaults())
     }
@@ -599,6 +603,7 @@ impl ServeEngine {
     /// Creates an engine with an explicit backend registry — requests
     /// naming an unregistered [`BackendKind`] fail typed at admission.
     /// Rejects invalid configurations with [`CusFftError::BadConfig`].
+    #[must_use = "the engine is returned, not installed; dropping it discards the construction"]
     pub fn with_registry(
         spec: DeviceSpec,
         config: ServeConfig,
@@ -783,6 +788,7 @@ impl ServeEngine {
             pool,
             fleet: crate::fleet::FleetTally::default(),
             devices: Vec::new(),
+            journal: None,
         }
     }
 
@@ -849,15 +855,15 @@ pub(crate) fn validate_request(req: &ServeRequest) -> Result<(), CusFftError> {
     Ok(())
 }
 
-struct WorkerOutput {
+pub(crate) struct WorkerOutput {
     /// `(request index, outcome)` pairs for every request this worker ran.
-    results: Vec<(usize, RequestOutcome)>,
+    pub(crate) results: Vec<(usize, RequestOutcome)>,
     /// The worker's private op recording.
-    ops: Vec<gpu_sim::Op>,
+    pub(crate) ops: Vec<gpu_sim::Op>,
     /// The worker's fault/recovery counters.
-    tally: FaultTally,
+    pub(crate) tally: FaultTally,
     /// Per-group kernel/pool telemetry, in this worker's group order.
-    groups_tel: Vec<GroupTelemetry>,
+    pub(crate) groups_tel: Vec<GroupTelemetry>,
 }
 
 /// Executes `shard`'s groups serially on a private device: prepare every
@@ -865,7 +871,7 @@ struct WorkerOutput {
 /// finish each request — recovering from injected faults per request (see
 /// the module docs). The stream family is created once so consecutive
 /// groups on this worker genuinely serialise on it.
-fn run_worker(
+pub(crate) fn run_worker(
     spec: DeviceSpec,
     shard: &[&Group],
     requests: &[ServeRequest],
@@ -1172,7 +1178,7 @@ pub(crate) fn run_group(
 /// per-request panic boundary: serve its requests on the CPU path (or
 /// fail them typed). Ops and device-side fault counters are lost with
 /// the worker.
-fn recover_worker_loss(
+pub(crate) fn recover_worker_loss(
     shard: &[&Group],
     requests: &[ServeRequest],
     cfg: &ServeConfig,

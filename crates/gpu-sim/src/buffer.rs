@@ -79,6 +79,7 @@ impl MemPool {
 
     /// Reserves `bytes` (rounded up to the 256-byte allocation granule),
     /// or reports a typed OOM without changing the accounting.
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_reserve(&self, bytes: u64) -> Result<u64, GpuError> {
         let granule = ((bytes + 255) & !255).max(256);
         // CAS loop: never lets `used` exceed `capacity`, even under

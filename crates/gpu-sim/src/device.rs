@@ -339,6 +339,7 @@ impl GpuDevice {
     /// or transfer failure). A failed transfer still occupied the copy
     /// engine for its full duration (recorded as a `fault:` op) but moved
     /// no data.
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_htod<T: Copy>(
         &self,
         host: &[T],
@@ -386,6 +387,7 @@ impl GpuDevice {
     /// paper's timing which excludes allocation — but no longer
     /// *capacity*-free). Fails with a typed OOM when the device is full
     /// or an OOM fault is injected.
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_alloc_zeroed<T: Copy + Default>(
         &self,
         len: usize,
@@ -420,6 +422,7 @@ impl GpuDevice {
     /// *without* charging PCIe time — for data whose staging cost is
     /// accounted elsewhere (e.g. a serving request's signal, pinned once
     /// per batch). Subject to capacity and injected OOM.
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_resident<T: Copy>(
         &self,
         host: &[T],
@@ -445,6 +448,7 @@ impl GpuDevice {
     /// parked — no `MemPool` traffic and **no allocation fault gate**,
     /// since pooling models the removal of per-request `cudaMalloc` —
     /// falling back to a fresh tracked allocation otherwise.
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_alloc_zeroed_pooled<T: Copy + Default>(
         &self,
         pool: &BufferPool<T>,
@@ -464,6 +468,7 @@ impl GpuDevice {
     /// fresh tracked resident allocation. Like `try_resident`, no PCIe
     /// time is charged — staging cost is accounted by the caller (see
     /// [`GpuDevice::try_charge_htod`] for batched staging).
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_resident_pooled<T: Copy>(
         &self,
         pool: &BufferPool<T>,
@@ -485,6 +490,7 @@ impl GpuDevice {
     /// [`GpuDevice::try_resident_pooled`], which charges nothing. A
     /// failed transfer still occupied the copy engine for its full
     /// duration but moved no data.
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_charge_htod(
         &self,
         label: &str,
@@ -515,6 +521,7 @@ impl GpuDevice {
     /// `fault:sdc:dtoh` marker op records the injection on the timeline;
     /// the device-side buffer stays intact, so a retry after detection
     /// re-reads clean data under a fresh decision).
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_dtoh<T: Copy + SdcTarget>(
         &self,
         buf: &DeviceBuffer<T>,
@@ -571,6 +578,7 @@ impl GpuDevice {
     /// grouped transfer (charged at the aggregate's PCIe duration); an
     /// SDC decision corrupts one element of that constituent's
     /// returned copy only, leaving device-side data intact for retry.
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_dtoh_group<T: Copy + SdcTarget>(
         &self,
         bufs: &[&DeviceBuffer<T>],
@@ -705,6 +713,7 @@ impl GpuDevice {
     /// Charges an externally-modelled device operation (used by the cuFFT
     /// model, whose internals we do not trace kernel-by-kernel). Subject
     /// to the same launch faults as a traced kernel.
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_charge_device_op(
         &self,
         label: &str,
@@ -765,6 +774,7 @@ impl GpuDevice {
     /// Launches a map kernel: thread `tid` computes `out[tid] = f(ctx, gm)`
     /// for `tid < out.len()`. The grid must cover the output. On an
     /// injected launch fault no block executes and `out` is untouched.
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_launch_map<T, F>(
         &self,
         name: &str,
@@ -806,6 +816,7 @@ impl GpuDevice {
     /// stream before it can be evicted: the stores are not charged as DRAM
     /// traffic. The caller must ensure `out` fits in L2
     /// ([`crate::spec::DeviceSpec::l2_bytes`]).
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_launch_map_scratch<T, F>(
         &self,
         name: &str,
@@ -924,6 +935,7 @@ impl GpuDevice {
     /// writes go through [`crate::atomic`] arrays captured by the closure.
     /// On an injected launch fault no block executes, so the atomics the
     /// closure captures are untouched — a retry starts from clean state.
+    #[must_use = "this operation can fault; the error carries the recovery cue"]
     pub fn try_launch_foreach<F>(
         &self,
         name: &str,

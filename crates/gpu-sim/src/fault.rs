@@ -60,6 +60,19 @@ pub enum FaultClass {
 }
 
 impl FaultClass {
+    /// Every fault class, in salt order — the enumeration axis chaos
+    /// schedules sweep their per-class rate grid over.
+    pub const ALL: [FaultClass; 8] = [
+        FaultClass::Alloc,
+        FaultClass::H2d,
+        FaultClass::D2h,
+        FaultClass::Launch,
+        FaultClass::Timeout,
+        FaultClass::Ecc,
+        FaultClass::Sdc,
+        FaultClass::DeviceLoss,
+    ];
+
     /// Stable per-class salt for the decision hash.
     fn salt(self) -> u64 {
         match self {
@@ -129,7 +142,156 @@ pub struct FaultConfig {
     pub timeout_s: f64,
 }
 
+/// A full per-class rate vector — the *explicit schedule* form of a
+/// fault plan. [`FaultConfig::uniform`]/[`FaultConfig::persistent`]
+/// cover the common presets; a chaos explorer instead enumerates rate
+/// vectors directly and turns each into a plan with
+/// [`FaultConfig::from_rates`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRates {
+    /// Device allocation failures.
+    pub oom: f64,
+    /// Host→device transfer failures.
+    pub h2d: f64,
+    /// Device→host transfer failures.
+    pub d2h: f64,
+    /// Kernel launch failures.
+    pub launch: f64,
+    /// Kernel watchdog timeouts.
+    pub timeout: f64,
+    /// ECC-detected corruption.
+    pub ecc: f64,
+    /// Silent data corruption (payload bit flips, no typed error).
+    pub sdc: f64,
+    /// Whole-device loss per scheduling epoch (fleet-level).
+    pub device_loss: f64,
+}
+
+impl FaultRates {
+    /// All classes off.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Every *typed-error* class at `rate` (SDC and device loss stay
+    /// off, mirroring [`FaultConfig::uniform`]).
+    pub fn uniform(rate: f64) -> Self {
+        FaultRates {
+            oom: rate,
+            h2d: rate,
+            d2h: rate,
+            launch: rate,
+            timeout: rate,
+            ecc: rate,
+            sdc: 0.0,
+            device_loss: 0.0,
+        }
+    }
+
+    /// A one-hot vector: only `class` fires, at `rate`.
+    pub fn one_hot(class: FaultClass, rate: f64) -> Self {
+        let mut r = Self::zero();
+        r.set(class, rate);
+        r
+    }
+
+    /// Rate for one class.
+    pub fn get(&self, class: FaultClass) -> f64 {
+        match class {
+            FaultClass::Alloc => self.oom,
+            FaultClass::H2d => self.h2d,
+            FaultClass::D2h => self.d2h,
+            FaultClass::Launch => self.launch,
+            FaultClass::Timeout => self.timeout,
+            FaultClass::Ecc => self.ecc,
+            FaultClass::Sdc => self.sdc,
+            FaultClass::DeviceLoss => self.device_loss,
+        }
+    }
+
+    /// Sets the rate for one class.
+    pub fn set(&mut self, class: FaultClass, rate: f64) {
+        match class {
+            FaultClass::Alloc => self.oom = rate,
+            FaultClass::H2d => self.h2d = rate,
+            FaultClass::D2h => self.d2h = rate,
+            FaultClass::Launch => self.launch = rate,
+            FaultClass::Timeout => self.timeout = rate,
+            FaultClass::Ecc => self.ecc = rate,
+            FaultClass::Sdc => self.sdc = rate,
+            FaultClass::DeviceLoss => self.device_loss = rate,
+        }
+    }
+
+    /// Whether every class is off.
+    pub fn is_zero(&self) -> bool {
+        FaultClass::ALL.iter().all(|&c| self.get(c) == 0.0)
+    }
+}
+
+/// Deterministic host-crash plan — the "crash hook" crash-consistency
+/// tests arm. The journaled serving layer polls [`CrashPlan::fires_at`]
+/// at every epoch boundary and kills the run (discarding the journal's
+/// unflushed tail, exactly as a power loss would) when the epoch
+/// matches. Purely declarative, so a chaos schedule can name an exact
+/// kill point and replay it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CrashPlan {
+    /// Epoch index at which the host dies; `None` never crashes.
+    pub at_epoch: Option<u64>,
+}
+
+impl CrashPlan {
+    /// A plan that kills the run at epoch `e`.
+    pub fn at_epoch(e: u64) -> Self {
+        CrashPlan { at_epoch: Some(e) }
+    }
+
+    /// A plan that never fires.
+    pub fn never() -> Self {
+        Self::default()
+    }
+
+    /// Whether the host dies at `epoch`.
+    #[must_use = "ignoring the crash decision defeats the crash plan"]
+    pub fn fires_at(&self, epoch: u64) -> bool {
+        self.at_epoch == Some(epoch)
+    }
+}
+
 impl FaultConfig {
+    /// A fault plan from an explicit per-class rate vector — the
+    /// constructor chaos schedules use, bypassing the presets.
+    pub fn from_rates(seed: u64, rates: FaultRates) -> Self {
+        FaultConfig {
+            seed,
+            oom_rate: rates.oom,
+            h2d_rate: rates.h2d,
+            d2h_rate: rates.d2h,
+            launch_rate: rates.launch,
+            timeout_rate: rates.timeout,
+            ecc_rate: rates.ecc,
+            sdc_rate: rates.sdc,
+            device_loss_rate: rates.device_loss,
+            timeout_s: 1e-3,
+        }
+    }
+
+    /// This plan's rate vector, round-trippable through
+    /// [`FaultConfig::from_rates`].
+    pub fn rates(&self) -> FaultRates {
+        FaultRates {
+            oom: self.oom_rate,
+            h2d: self.h2d_rate,
+            d2h: self.d2h_rate,
+            launch: self.launch_rate,
+            timeout: self.timeout_rate,
+            ecc: self.ecc_rate,
+            sdc: self.sdc_rate,
+            device_loss: self.device_loss_rate,
+        }
+    }
+
     /// Uniform transient faults: every class fires at `rate`.
     pub fn uniform(seed: u64, rate: f64) -> Self {
         FaultConfig {
@@ -316,6 +478,36 @@ impl FaultState {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rates_round_trip_through_from_rates() {
+        let mut rates = FaultRates::zero();
+        for (i, &c) in FaultClass::ALL.iter().enumerate() {
+            rates.set(c, 0.1 * (i + 1) as f64);
+        }
+        let cfg = FaultConfig::from_rates(9, rates);
+        assert_eq!(cfg.rates(), rates);
+        for &c in &FaultClass::ALL {
+            assert_eq!(cfg.rate(c), rates.get(c));
+        }
+        assert!(!rates.is_zero());
+        assert!(FaultRates::zero().is_zero());
+        let hot = FaultRates::one_hot(FaultClass::Launch, 0.5);
+        assert_eq!(hot.get(FaultClass::Launch), 0.5);
+        assert_eq!(hot.get(FaultClass::Timeout), 0.0);
+        // uniform() leaves the payload/fleet classes off, like the preset.
+        assert_eq!(FaultRates::uniform(0.2).sdc, 0.0);
+        assert_eq!(FaultRates::uniform(0.2).device_loss, 0.0);
+    }
+
+    #[test]
+    fn crash_plan_fires_exactly_at_its_epoch() {
+        assert!(!CrashPlan::never().fires_at(0));
+        let p = CrashPlan::at_epoch(3);
+        assert!(!p.fires_at(2));
+        assert!(p.fires_at(3));
+        assert!(!p.fires_at(4));
+    }
 
     #[test]
     fn roll_is_a_pure_function() {

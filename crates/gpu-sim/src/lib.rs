@@ -46,7 +46,7 @@ pub use buffer::{
 pub use cost::{kernel_cost, transfer_time, KernelCost};
 pub use device::{GpuDevice, LaunchRecord, DEFAULT_STREAM};
 pub use error::{GpuError, TransferDir};
-pub use fault::{fault_roll, FaultClass, FaultConfig, SdcTarget};
+pub use fault::{fault_roll, CrashPlan, FaultClass, FaultConfig, FaultRates, SdcTarget};
 pub use gmem::Gmem;
 pub use launch::{LaunchConfig, ThreadCtx};
 pub use metrics::KernelStats;

@@ -288,3 +288,86 @@ fn try_execute_surfaces_faults_and_recovers() {
         other => panic!("expected BadRequest, got {other:?}"),
     }
 }
+
+/// Pins the `RequestOutcome::Failed::after_attempts` contract across
+/// every recovery path (DESIGN.md §9/§15):
+///
+/// * exhausted retry under persistent faults with fallback disabled
+///   reports exactly `max_retries` attempts — the retries genuinely ran
+///   and are counted once each;
+/// * pre-execution failures (validation) report `0` — nothing was
+///   attempted;
+/// * the counts are invariant under the worker count and identical on
+///   the journaled path, for a known fault schedule.
+#[test]
+fn failed_attempt_counts_are_pinned_per_path() {
+    use cusfft::{CusFftError, Journal, JournalOptions};
+
+    let mut reqs = batch(6);
+    // One malformed request (k = 0) that fails validation, never runs.
+    reqs.push(ServeRequest::new(reqs[0].time.clone(), 0, Variant::Optimized, 99));
+    let fc = FaultConfig::persistent(fault_seed());
+    let max_retries = 3u32;
+    let config = |workers| ServeConfig {
+        workers,
+        faults: Some(fc),
+        max_retries,
+        cpu_fallback: false,
+        ..ServeConfig::default()
+    };
+    let serve = |workers| {
+        ServeEngine::new(DeviceSpec::tesla_k20x(), config(workers))
+            .expect("serve config is valid")
+            .serve_batch(&reqs)
+    };
+
+    let reference = serve(1);
+    for (i, outcome) in reference.outcomes.iter().enumerate() {
+        match outcome {
+            cusfft::RequestOutcome::Failed {
+                error,
+                after_attempts,
+            } => {
+                if i == reqs.len() - 1 {
+                    assert!(
+                        matches!(error, CusFftError::BadRequest { .. }),
+                        "request {i} fails validation"
+                    );
+                    assert_eq!(
+                        *after_attempts, 0,
+                        "request {i} never reached execution, attempts must be 0"
+                    );
+                } else {
+                    assert!(
+                        matches!(error, CusFftError::Gpu(_)),
+                        "request {i} exhausts on a device error, got {error:?}"
+                    );
+                    assert_eq!(
+                        *after_attempts, max_retries,
+                        "request {i} must report exactly max_retries attempts"
+                    );
+                }
+            }
+            other => panic!("request {i}: expected Failed, got {other:?}"),
+        }
+    }
+    assert_eq!(reference.faults.failed, reqs.len() as u64);
+    assert_eq!(
+        reference.faults.retries,
+        (reqs.len() as u64 - 1) * u64::from(max_retries),
+        "each executable request retried exactly max_retries times"
+    );
+
+    // Attempt accounting is invariant under the worker count…
+    let wide = serve(4);
+    assert_eq!(wide.outcomes, reference.outcomes);
+    assert_eq!(wide.faults, reference.faults);
+
+    // …and identical on the journaled path.
+    let journaled = ServeEngine::new(DeviceSpec::tesla_k20x(), config(2))
+        .expect("serve config is valid")
+        .serve_journaled(&reqs, &mut Journal::new(), &JournalOptions::default())
+        .into_report()
+        .expect("unarmed journaled run completes");
+    assert_eq!(journaled.outcomes, reference.outcomes);
+}

@@ -1,0 +1,96 @@
+//! Property tests for the serving layer's exactly-once shape
+//! (DESIGN.md §15): for arbitrary fault seeds, rates, worker counts and
+//! batch mixes, every submitted request resolves to exactly one outcome
+//! and the plan groups partition the request indices — the
+//! [`cusfft::check_outcome_bijection`] invariant the chaos explorer
+//! reuses on every schedule it runs.
+
+use cusfft::{
+    check_outcome_bijection, Journal, JournalOptions, ServeConfig, ServeEngine, ServeRequest,
+    Variant,
+};
+use gpu_sim::{DeviceSpec, FaultConfig};
+use proptest::prelude::*;
+use signal::{MagnitudeModel, SparseSignal};
+
+fn batch(len: usize, sig_salt: u64) -> Vec<ServeRequest> {
+    let geometries = [
+        (1 << 9, 4, Variant::Optimized),
+        (1 << 10, 4, Variant::Baseline),
+        (1 << 10, 8, Variant::Optimized),
+    ];
+    (0..len)
+        .map(|i| {
+            let (n, k, variant) = geometries[i % geometries.len()];
+            let s = SparseSignal::generate(n, k, MagnitudeModel::Unit, sig_salt + i as u64);
+            ServeRequest::new(s.time, k, variant, 7 * i as u64 + 1)
+        })
+        .collect()
+}
+
+fn engine(workers: usize, faults: Option<FaultConfig>) -> ServeEngine {
+    ServeEngine::new(
+        DeviceSpec::tesla_k20x(),
+        ServeConfig {
+            workers,
+            faults,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("serve config is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `serve_batch` under arbitrary fault pressure: outcome count is a
+    /// bijection with the submitted ids, groups partition the indices,
+    /// and the per-request outcomes are invariant under the worker
+    /// count.
+    #[test]
+    fn serve_batch_outcomes_are_a_bijection(
+        fault_seed in 0u64..1_000,
+        rate in 0.0f64..0.4,
+        workers in 1usize..5,
+        len in 1usize..9,
+        sig_salt in 0u64..1_000,
+    ) {
+        let requests = batch(len, 9000 + sig_salt);
+        let faults = Some(FaultConfig::uniform(fault_seed, rate));
+        let report = engine(workers, faults).serve_batch(&requests);
+        prop_assert!(
+            check_outcome_bijection(requests.len(), &report).is_ok(),
+            "bijection broken: {:?}",
+            check_outcome_bijection(requests.len(), &report)
+        );
+        // Worker invariance on the same schedule.
+        let single = engine(1, faults).serve_batch(&requests);
+        prop_assert_eq!(&report.outcomes, &single.outcomes);
+    }
+
+    /// The journaled path preserves the bijection under fault pressure
+    /// and arbitrary checkpoint cadence, and never invents or loses a
+    /// request relative to `serve_batch`.
+    #[test]
+    fn journaled_outcomes_are_a_bijection(
+        fault_seed in 0u64..1_000,
+        rate in 0.0f64..0.4,
+        workers in 1usize..4,
+        epoch_groups in 1usize..4,
+        len in 1usize..7,
+    ) {
+        let requests = batch(len, 17_000);
+        let faults = Some(FaultConfig::uniform(fault_seed, rate));
+        let opts = JournalOptions {
+            epoch_groups,
+            crash: gpu_sim::CrashPlan::never(),
+        };
+        let journaled = engine(workers, faults)
+            .serve_journaled(&requests, &mut Journal::new(), &opts)
+            .into_report()
+            .expect("unarmed journaled run completes");
+        prop_assert!(check_outcome_bijection(requests.len(), &journaled).is_ok());
+        let plain = engine(workers, faults).serve_batch(&requests);
+        prop_assert_eq!(&journaled.outcomes, &plain.outcomes);
+    }
+}

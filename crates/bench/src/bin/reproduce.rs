@@ -28,6 +28,13 @@
 //!             host-crash epoch × fleet device loss, invariant suite +
 //!             minimal-schedule shrinking and measured recovery
 //!             overhead (explicit-only — `--smoke` for CI)
+//!   explain   policy flight recorder: audited overload run, full
+//!             decision log, per-request explain chains and SLO
+//!             burn-rate alerts (explicit-only — `--smoke` for CI)
+//!   check-regression  compare freshly-generated `BENCH_*.json` files
+//!             in `--out` against the checked-in baselines in
+//!             `results/baselines` with per-metric tolerances
+//!             (explicit-only; exits non-zero on drift)
 //!   all       everything above except the explicit-only targets (default)
 //! ```
 //!
@@ -47,6 +54,7 @@ struct Opts {
     smoke: bool,
     k: Option<usize>,
     out: PathBuf,
+    baseline: PathBuf,
 }
 
 fn parse_args() -> Opts {
@@ -55,11 +63,15 @@ fn parse_args() -> Opts {
     let mut smoke = false;
     let mut k = None;
     let mut out = PathBuf::from("results");
+    let mut baseline = PathBuf::from("results/baselines");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => full = true,
             "--smoke" => smoke = true,
+            "--baseline" => {
+                baseline = PathBuf::from(args.next().expect("--baseline needs a path"));
+            }
             "--k" => {
                 k = Some(
                     args.next()
@@ -69,8 +81,8 @@ fn parse_args() -> Opts {
             }
             "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
             "--help" | "-h" => {
-                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve backends hostperf overload trace throughput fleet chaos all");
-                println!("flags:   --full (paper-scale sweep)  --smoke (tiny CI sizes)  --k K  --out DIR");
+                println!("targets: table1 table2 fig1 fig2a fig2b fig2gpu fig5a fig5b fig5c fig5d fig5e fig5f ablation noise devices comb serve backends hostperf overload trace throughput fleet chaos explain check-regression all");
+                println!("flags:   --full (paper-scale sweep)  --smoke (tiny CI sizes)  --k K  --out DIR  --baseline DIR");
                 std::process::exit(0);
             }
             t => target = t.to_string(),
@@ -82,6 +94,7 @@ fn parse_args() -> Opts {
         smoke,
         k,
         out,
+        baseline,
     }
 }
 
@@ -199,6 +212,142 @@ fn main() {
     if opts.target == "chaos" {
         chaos(&opts);
     }
+    // explain runs one audited overload serve and writes the flight
+    // recorder's artifacts; explicit-only (--smoke for CI).
+    if opts.target == "explain" {
+        explain(&opts, seed);
+    }
+    // check-regression gates freshly generated BENCH_*.json artifacts
+    // against the checked-in baselines; explicit-only, exits non-zero
+    // on drift outside the per-metric tolerances.
+    if opts.target == "check-regression" {
+        check_regression(&opts);
+    }
+}
+
+/// Extension: the policy flight recorder — one audited overload run
+/// (flaky device, 2x offered load), the full decision log in JSON and
+/// text, every request's explain chain, the SLO burn-rate report, and
+/// the metrics/trace exports that carry the cause labels and the
+/// annotated policy track. Every byte deterministic.
+fn explain(opts: &Opts, seed: u64) {
+    let (log2_n, k, batch): (u32, usize, usize) = if opts.smoke {
+        (12, 8, 12)
+    } else {
+        (14, 16, 32)
+    };
+    eprintln!("[explain] n = 2^{log2_n}, k = {k}, batch = {batch}, offered load = 2.0x");
+
+    let art = bench::audit_artifacts(log2_n, k, batch, seed, 4);
+    let audit = art.report.audit.as_deref().expect("audited run");
+    println!(
+        "flight recorder: {} events over {} requests, availability {:.3}, latency attainment {:.3}, {} burn-rate alert(s)",
+        audit.log.events.len(),
+        art.report.outcomes.len(),
+        audit.slo.availability,
+        audit.slo.latency_attainment,
+        audit.slo.alerts.len(),
+    );
+
+    let mut causes: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for c in &audit.causes {
+        *causes.entry(c.as_str()).or_insert(0) += 1;
+    }
+    let mut t = Table::new("Terminal causes", &["cause", "requests"]);
+    for (cause, count) in causes {
+        t.row(vec![cause.to_string(), count.to_string()]);
+    }
+    print!("{}", t.render());
+
+    let (metrics_prom, trace_json) = bench::audit_exports(&art.report);
+    let _ = std::fs::create_dir_all(&opts.out);
+    for (name, body) in [
+        ("audit_log.json", &art.audit_log_json),
+        ("audit_log.txt", &art.audit_log_txt),
+        ("slo_alerts.json", &art.slo_json),
+        ("explain.txt", &art.explain_txt),
+        ("audit_metrics.prom", &metrics_prom),
+        ("audit_trace.json", &trace_json),
+    ] {
+        let path = opts.out.join(name);
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Extension: the regression gate — every `BENCH_*.json` under the
+/// baseline directory must have a freshly-generated counterpart in
+/// `--out` that matches shape-exactly and numerically within the
+/// per-metric tolerances (counts exact, modeled times/rates ±5%).
+fn check_regression(opts: &Opts) {
+    let entries = match std::fs::read_dir(&opts.baseline) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read baseline dir {}: {e}", opts.baseline.display());
+            std::process::exit(2);
+        }
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        eprintln!("no BENCH_*.json baselines under {}", opts.baseline.display());
+        std::process::exit(2);
+    }
+
+    let mut failed = 0usize;
+    for name in &names {
+        let base = match std::fs::read_to_string(opts.baseline.join(name)) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("FAIL {name}: cannot read baseline: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        let cand = match std::fs::read_to_string(opts.out.join(name)) {
+            Ok(s) => s,
+            Err(e) => {
+                println!(
+                    "FAIL {name}: no candidate in {} ({e}) — regenerate it first",
+                    opts.out.display()
+                );
+                failed += 1;
+                continue;
+            }
+        };
+        match bench::check_file(&base, &cand, name.trim_end_matches(".json")) {
+            Ok(diffs) if diffs.is_empty() => println!("ok   {name}"),
+            Ok(diffs) => {
+                println!("FAIL {name}: {} metric(s) drifted", diffs.len());
+                for d in diffs.iter().take(20) {
+                    println!("     {d}");
+                }
+                if diffs.len() > 20 {
+                    println!("     ... and {} more", diffs.len() - 20);
+                }
+                failed += 1;
+            }
+            Err(e) => {
+                println!("FAIL {name}: {e}");
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!(
+            "REGRESSION: {failed}/{} baseline file(s) drifted (baselines in {})",
+            names.len(),
+            opts.baseline.display()
+        );
+        std::process::exit(1);
+    }
+    println!("all {} baseline file(s) within tolerance", names.len());
 }
 
 /// Extension: deterministic chaos exploration — every schedule in the

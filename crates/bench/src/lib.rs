@@ -12,8 +12,10 @@
 //!   / [`experiments::batched_fft_ablation`] — Section V ablations;
 //! * [`table`] — aligned-table + CSV output; [`host`] — Table II helpers.
 
+pub mod audit;
 pub mod experiments;
 pub mod host;
+pub mod regress;
 pub mod table;
 pub mod telemetry;
 pub mod viz;
@@ -27,6 +29,8 @@ pub use experiments::{
     GpuProfileRow, HostParallelPoint, NoisePoint, OverloadPoint, ProfileRow, RuntimePoint,
     SelectionAblation, ServePoint, ThroughputPoint,
 };
+pub use audit::{audit_artifacts, audit_exports, AuditArtifacts};
+pub use regress::{check_file, parse_json, Json};
 pub use table::{fmt_ratio, fmt_secs, Table};
 pub use telemetry::{telemetry_artifacts, TelemetryArtifacts};
 pub use viz::{render_chart, Series};

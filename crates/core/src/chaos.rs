@@ -306,6 +306,21 @@ pub enum InvariantViolation {
         /// What differed.
         detail: String,
     },
+    /// An audited run left a request without a complete decision chain
+    /// (no admission root, no terminal, or a broken parent forest) —
+    /// the flight recorder failed to explain an outcome.
+    Unexplained {
+        /// The request missing its explanation.
+        request: usize,
+        /// What was missing.
+        detail: String,
+    },
+    /// A fired SLO alert could not be attributed to terminal audit
+    /// events — an alarm with no evidence trail.
+    UnattributableAlert {
+        /// Which alert, precisely.
+        detail: String,
+    },
 }
 
 impl InvariantViolation {
@@ -318,6 +333,8 @@ impl InvariantViolation {
             InvariantViolation::WorkerVariance { .. } => "worker_variance",
             InvariantViolation::JournalFault { .. } => "journal_fault",
             InvariantViolation::ReplayUnstable { .. } => "replay_unstable",
+            InvariantViolation::Unexplained { .. } => "unexplained",
+            InvariantViolation::UnattributableAlert { .. } => "unattributable_alert",
         }
     }
 }
@@ -345,6 +362,12 @@ impl std::fmt::Display for InvariantViolation {
             InvariantViolation::JournalFault { detail } => write!(f, "journal fault: {detail}"),
             InvariantViolation::ReplayUnstable { detail } => {
                 write!(f, "replay unstable: {detail}")
+            }
+            InvariantViolation::Unexplained { request, detail } => {
+                write!(f, "request {request} unexplained: {detail}")
+            }
+            InvariantViolation::UnattributableAlert { detail } => {
+                write!(f, "SLO alert without audit evidence: {detail}")
             }
         }
     }
@@ -484,7 +507,68 @@ fn serve_config(s: &ChaosSchedule, workers: usize) -> ServeConfig {
     ServeConfig {
         workers,
         faults,
+        // Every chaos run flies with the recorder on: the suite checks
+        // that each outcome is explainable and each alert attributable.
+        audit: true,
         ..ServeConfig::default()
+    }
+}
+
+/// Checks the flight-recorder invariants on an audited report: the
+/// event forest roots at admission events, every request's decision
+/// chain is complete (admission root → terminal), and every fired SLO
+/// alert names terminal events that exist in the log.
+fn check_audit(
+    submitted: usize,
+    report: &ServeReport,
+    violations: &mut Vec<InvariantViolation>,
+    checked: &mut u64,
+) {
+    *checked += 1;
+    let Some(audit) = report.audit.as_deref() else {
+        violations.push(InvariantViolation::Unexplained {
+            request: 0,
+            detail: "audited run produced no audit report".into(),
+        });
+        return;
+    };
+    if let Err(detail) = audit.validate() {
+        violations.push(InvariantViolation::Unexplained { request: 0, detail });
+    }
+    for r in 0..submitted {
+        let complete = crate::audit::explain(report, r).is_some_and(|c| {
+            !c.events.is_empty()
+                && c.events.iter().any(|e| crate::audit::is_root_kind(&e.name))
+                && c.events.iter().any(|e| e.name == "terminal")
+        });
+        if !complete {
+            violations.push(InvariantViolation::Unexplained {
+                request: r,
+                detail: "decision chain missing admission root or terminal".into(),
+            });
+        }
+    }
+    *checked += 1;
+    for alert in &audit.slo.alerts {
+        let attributable = !alert.contributing.is_empty()
+            && alert.contributing.iter().all(|&id| {
+                audit
+                    .log
+                    .events
+                    .get(id as usize)
+                    .is_some_and(|e| e.name == "terminal")
+            });
+        if !attributable {
+            violations.push(InvariantViolation::UnattributableAlert {
+                detail: format!(
+                    "{}:{} at ts {} cites {} events",
+                    alert.slo,
+                    alert.window,
+                    alert.ts,
+                    alert.contributing.len()
+                ),
+            });
+        }
     }
 }
 
@@ -562,6 +646,7 @@ fn run_engine_schedule(
     }
     *checked += 1;
     check_oracle(requests, &base, violations);
+    check_audit(requests.len(), &base, violations, checked);
 
     // Worker invariance: a different worker count must not change a
     // single outcome.
@@ -609,6 +694,9 @@ fn run_engine_schedule(
                             detail: first_outcome_diff(&base.outcomes, &resumed.outcomes),
                         });
                     }
+                    // The resumed run must explain every outcome too —
+                    // including the ones it restored from the journal.
+                    check_audit(requests.len(), &resumed, violations, checked);
                     if base.makespan > 0.0 {
                         *recovery_overhead = Some(
                             (crash.wasted_makespan + resumed.makespan) / base.makespan - 1.0,
@@ -660,6 +748,7 @@ fn run_fleet_schedule(
     }
     *checked += 1;
     check_oracle(requests, &report, violations);
+    check_audit(requests.len(), &report, violations, checked);
 
     // Replay stability: a fresh fleet over the same schedule must be
     // bit-identical.
@@ -669,6 +758,12 @@ fn run_fleet_schedule(
         if replay.outcomes != report.outcomes {
             violations.push(InvariantViolation::ReplayUnstable {
                 detail: first_outcome_diff(&report.outcomes, &replay.outcomes),
+            });
+        }
+        *checked += 1;
+        if replay.audit != report.audit {
+            violations.push(InvariantViolation::ReplayUnstable {
+                detail: "audit reports differ between identical fleet runs".into(),
             });
         }
     }

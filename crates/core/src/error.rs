@@ -60,6 +60,23 @@ pub enum CusFftError {
     },
 }
 
+impl CusFftError {
+    /// Stable short class label used as a telemetry/audit dimension
+    /// (one word per variant; the audit layer's terminal-cause strings
+    /// are built from these).
+    pub fn class_label(&self) -> &'static str {
+        match self {
+            CusFftError::Gpu(_) => "gpu",
+            CusFftError::BadRequest { .. } => "bad_request",
+            CusFftError::Panic { .. } => "panic",
+            CusFftError::SilentCorruption { .. } => "sdc",
+            CusFftError::CircuitOpen => "circuit_open",
+            CusFftError::Journal { .. } => "journal",
+            CusFftError::BadConfig { .. } => "config",
+        }
+    }
+}
+
 impl std::fmt::Display for CusFftError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -61,6 +61,7 @@
 //! model N members as one device at 1/N speed. The merged ops are still
 //! kept on the report for span/trace export.
 
+use cusfft_telemetry::fmt_f64;
 use gpu_sim::{
     concurrency_profile, fault_roll, merge_op_groups, schedule, BreakerConfig, BreakerDecision,
     CircuitBreaker, DeviceSpec, FaultClass, FaultConfig, GpuDevice, MemPool, Op, StandbySlabs,
@@ -68,6 +69,7 @@ use gpu_sim::{
 };
 use std::sync::Arc;
 
+use crate::audit::{finalize_audit, AuditLog, SloConfig};
 use crate::backend::{
     worker_device, Backend, BackendKind, BackendRegistry, GpuSimBackend, SfftCpuBackend,
 };
@@ -255,6 +257,36 @@ fn cpu_tier_cost(params: &sfft_cpu::SfftParams, requests: usize) -> f64 {
     params.host_work_estimate() / CPU_TIER_OP_RATE * requests as f64
 }
 
+/// Records member `m`'s breaker transitions that appeared since the
+/// caller's last check as `breaker_transition` audit events, attributed
+/// to the group whose admit/observe drove them.
+fn audit_transitions(
+    alog: &mut Option<AuditLog>,
+    ts: f64,
+    gid: Option<usize>,
+    m: usize,
+    breaker: &CircuitBreaker,
+    seen: &mut usize,
+) {
+    let transitions = breaker.transitions();
+    if let Some(a) = alog.as_mut() {
+        for tr in &transitions[*seen..] {
+            a.record(
+                ts,
+                None,
+                gid,
+                "breaker_transition",
+                vec![
+                    ("member".into(), m.to_string()),
+                    ("from".into(), tr.from.label().into()),
+                    ("to".into(), tr.to.label().into()),
+                ],
+            );
+        }
+    }
+    *seen = transitions.len();
+}
+
 /// A heterogeneous pool of simulated devices behind one serving front.
 ///
 /// Built from a [`FleetConfig`] plus the ordinary [`ServeConfig`] (whose
@@ -398,6 +430,38 @@ impl DeviceFleet {
         let mut outcomes: Vec<Option<RequestOutcome>> =
             (0..requests.len()).map(|_| None).collect();
 
+        // Flight recorder: the batch root plus per-request invalid
+        // verdicts up front; routing/lifecycle decisions stream in as
+        // the coordinator makes them.
+        let mut alog = if cfg.audit {
+            let mut a = AuditLog::new();
+            a.record(
+                0.0,
+                None,
+                None,
+                "batch_admitted",
+                vec![
+                    ("requests".into(), requests.len().to_string()),
+                    ("groups".into(), groups.len().to_string()),
+                    ("members".into(), nmembers.to_string()),
+                ],
+            );
+            for (idx, err) in &prefailed {
+                a.record(
+                    0.0,
+                    Some(*idx),
+                    None,
+                    "invalid",
+                    vec![("reason".into(), err.to_string())],
+                );
+            }
+            Some(a)
+        } else {
+            None
+        };
+        let mut seen_tr = vec![0usize; nmembers];
+        let mut completion_of = vec![0.0f64; groups.len()];
+
         // Standby counters are cumulative on the slabs; snapshot for a
         // per-call tally.
         let slab_base: Vec<StandbyStats> = self.slabs.iter().map(|s| s.stats()).collect();
@@ -450,6 +514,9 @@ impl DeviceFleet {
 
         let gid_list: Vec<usize> = (0..groups.len()).collect();
         for (epoch_idx, epoch) in gid_list.chunks(self.fleet.epoch_groups).enumerate() {
+            // Routing-phase decisions are stamped with the fleet's
+            // virtual clock at epoch start (the slowest lane so far).
+            let epoch_ts = member_clock.iter().copied().fold(cpu_clock, f64::max);
             // ---- Brownout check (before routing). ---------------------
             let healthy_speed: f64 = (0..nmembers)
                 .filter(|&m| {
@@ -476,6 +543,22 @@ impl DeviceFleet {
                         groups[gid].qos = ServeQos::Degraded;
                         fleet_tally.brownout_groups += 1;
                         rekeyed = true;
+                        if let Some(a) = alog.as_mut() {
+                            a.record(
+                                epoch_ts,
+                                None,
+                                Some(gid),
+                                "brownout",
+                                vec![
+                                    ("healthy_speed".into(), fmt_f64(healthy_speed)),
+                                    ("total_speed".into(), fmt_f64(total_speed)),
+                                    (
+                                        "fraction".into(),
+                                        fmt_f64(self.fleet.brownout_capacity_fraction),
+                                    ),
+                                ],
+                            );
+                        }
                     }
                 }
                 if rekeyed {
@@ -504,6 +587,34 @@ impl DeviceFleet {
                     (2 * group.plan.params().n * std::mem::size_of::<fft::cplx::Cplx>()) as u64
                         * group.indices.len() as u64;
 
+                // Snapshot every candidate's routing inputs before any
+                // reservation mutates them: the placement event carries
+                // the full scored field, not just the winner.
+                let mut cand_attrs: Vec<(String, String)> = Vec::new();
+                if cfg.audit {
+                    for m in 0..nmembers {
+                        let state = if lost[m] {
+                            "lost"
+                        } else if drained[m] {
+                            "drained"
+                        } else {
+                            breakers[m].state().label()
+                        };
+                        cand_attrs.push((format!("m{m}.est"), fmt_f64(est[m])));
+                        cand_attrs.push((format!("m{m}.queue"), fmt_f64(queue_clock[m])));
+                        cand_attrs.push((format!("m{m}.health"), fmt_f64(health[m])));
+                        cand_attrs.push((
+                            format!("m{m}.headroom"),
+                            (self.pools[m].free() >= predicted_bytes).to_string(),
+                        ));
+                        cand_attrs.push((
+                            format!("m{m}.score"),
+                            fmt_f64((queue_clock[m] + est[m]) * (2.0 - health[m])),
+                        ));
+                        cand_attrs.push((format!("m{m}.state"), state.into()));
+                    }
+                }
+
                 // Open breakers first: a suspect member takes at most
                 // its HalfOpen probe (drain quarantine bars even that
                 // until its cooldown elapses).
@@ -515,7 +626,16 @@ impl DeviceFleet {
                     {
                         continue;
                     }
-                    match breakers[m].admit(gid) {
+                    let decision = breakers[m].admit(gid);
+                    audit_transitions(
+                        &mut alog,
+                        epoch_ts,
+                        Some(gid),
+                        m,
+                        &breakers[m],
+                        &mut seen_tr[m],
+                    );
+                    match decision {
                         BreakerDecision::Probe => {
                             if let Ok(granule) = self.pools[m].try_reserve(predicted_bytes) {
                                 fleet_tally.drain_probes += 1;
@@ -544,6 +664,13 @@ impl DeviceFleet {
                     }
                 }
                 if placed {
+                    if let Some(a) = alog.as_mut() {
+                        let m = placements.last().map(|p| p.member).unwrap_or(0);
+                        let mut attrs = cand_attrs;
+                        attrs.push(("chosen".into(), format!("m{m}")));
+                        attrs.push(("probe".into(), "true".into()));
+                        a.record(epoch_ts, None, Some(gid), "router_placement", attrs);
+                    }
                     fleet_tally.routed_groups += 1;
                     continue;
                 }
@@ -572,6 +699,20 @@ impl DeviceFleet {
                 match best {
                     Some((m, _)) => {
                         breakers[m].admit(gid);
+                        audit_transitions(
+                            &mut alog,
+                            epoch_ts,
+                            Some(gid),
+                            m,
+                            &breakers[m],
+                            &mut seen_tr[m],
+                        );
+                        if let Some(a) = alog.as_mut() {
+                            let mut attrs = cand_attrs;
+                            attrs.push(("chosen".into(), format!("m{m}")));
+                            attrs.push(("probe".into(), "false".into()));
+                            a.record(epoch_ts, None, Some(gid), "router_placement", attrs);
+                        }
                         // Headroom was checked against free(); the
                         // reservation itself cannot race (coordinator
                         // only), so a failure here is a logic error.
@@ -590,7 +731,15 @@ impl DeviceFleet {
                             failover: false,
                         });
                     }
-                    None => cpu_gids.push(gid),
+                    None => {
+                        if let Some(a) = alog.as_mut() {
+                            let mut attrs = cand_attrs;
+                            attrs.push(("chosen".into(), "cpu".into()));
+                            attrs.push(("reason".into(), "no_eligible_member".into()));
+                            a.record(epoch_ts, None, Some(gid), "router_placement", attrs);
+                        }
+                        cpu_gids.push(gid);
+                    }
                 }
             }
 
@@ -613,6 +762,18 @@ impl DeviceFleet {
                         0.0,
                         DEFAULT_STREAM,
                     );
+                    if let Some(a) = alog.as_mut() {
+                        a.record(
+                            epoch_ts,
+                            None,
+                            None,
+                            "device_loss",
+                            vec![
+                                ("member".into(), m.to_string()),
+                                ("epoch".into(), epoch_idx.to_string()),
+                            ],
+                        );
+                    }
                 }
             }
             let mut evicted: Vec<usize> = Vec::new();
@@ -666,7 +827,28 @@ impl DeviceFleet {
                             0.0,
                             DEFAULT_STREAM,
                         );
+                        if let Some(a) = alog.as_mut() {
+                            a.record(
+                                epoch_ts,
+                                None,
+                                Some(gid),
+                                "failover",
+                                vec![
+                                    ("from".into(), format!("m{from}")),
+                                    ("to".into(), format!("m{m}")),
+                                    ("via".into(), "standby_slab".into()),
+                                ],
+                            );
+                        }
                         breakers[m].admit(gid);
+                        audit_transitions(
+                            &mut alog,
+                            epoch_ts,
+                            Some(gid),
+                            m,
+                            &breakers[m],
+                            &mut seen_tr[m],
+                        );
                         let est =
                             backend.estimate_cost(&model_devs[m], &specs[m], group.plan.params())
                                 * group.indices.len() as f64;
@@ -685,6 +867,19 @@ impl DeviceFleet {
                             0.0,
                             DEFAULT_STREAM,
                         );
+                        if let Some(a) = alog.as_mut() {
+                            a.record(
+                                epoch_ts,
+                                None,
+                                Some(gid),
+                                "failover",
+                                vec![
+                                    ("from".into(), format!("m{from}")),
+                                    ("to".into(), "cpu".into()),
+                                    ("via".into(), "no_healthy_member_or_slots".into()),
+                                ],
+                            );
+                        }
                         placements[i].member = usize::MAX;
                         cpu_gids.push(placements[i].gid);
                     }
@@ -756,6 +951,21 @@ impl DeviceFleet {
                 member_groups[m] += 1;
                 member_clock[m] += run.duration;
                 let completion = member_clock[m];
+                completion_of[p.gid] = completion;
+                // Worker-buffered decisions fold here, in gid order, so
+                // event ids are worker-count invariant; the observe's
+                // breaker transitions follow them.
+                if let Some(a) = alog.as_mut() {
+                    a.fold_group(completion, p.gid, &run.tel.audit);
+                }
+                audit_transitions(
+                    &mut alog,
+                    completion,
+                    Some(p.gid),
+                    m,
+                    &breakers[m],
+                    &mut seen_tr[m],
+                );
                 for (idx, outcome) in &run.results {
                     if let Some(resp) = outcome.response() {
                         latencies.push(completion);
@@ -787,17 +997,54 @@ impl DeviceFleet {
                     fleet_tally.drains += 1;
                     member_drains[m] += 1;
                     control.charge_host_op(&format!("fleet:drain:m{m}"), 0.0, DEFAULT_STREAM);
+                    if let Some(a) = alog.as_mut() {
+                        a.record(
+                            completion,
+                            None,
+                            Some(p.gid),
+                            "drain",
+                            vec![
+                                ("member".into(), m.to_string()),
+                                ("trips".into(), breakers[m].trips().to_string()),
+                                (
+                                    "cooldown_epochs".into(),
+                                    self.fleet.drain_cooldown_epochs.to_string(),
+                                ),
+                            ],
+                        );
+                    }
                 }
                 // Probe resolution: a clean probe closed the breaker and
                 // re-admits the member; a faulted probe re-opened it and
                 // restarts the quarantine clock.
                 if p.probe {
+                    if let Some(a) = alog.as_mut() {
+                        a.record(
+                            completion,
+                            None,
+                            Some(p.gid),
+                            "drain_probe",
+                            vec![
+                                ("member".into(), m.to_string()),
+                                ("clean".into(), (!run.faulted).to_string()),
+                            ],
+                        );
+                    }
                     if breakers[m].state() == gpu_sim::BreakerState::Closed {
                         trips_baseline[m] = breakers[m].trips();
                         if drained[m] {
                             drained[m] = false;
                             control
                                 .charge_host_op(&format!("fleet:recover:m{m}"), 0.0, DEFAULT_STREAM);
+                            if let Some(a) = alog.as_mut() {
+                                a.record(
+                                    completion,
+                                    None,
+                                    Some(p.gid),
+                                    "recover",
+                                    vec![("member".into(), m.to_string())],
+                                );
+                            }
                         }
                     } else if drained[m] {
                         drain_cooldown[m] = self.fleet.drain_cooldown_epochs;
@@ -814,6 +1061,19 @@ impl DeviceFleet {
                 control.charge_host_op(&format!("fleet:cpu_serve:g{gid}"), est, DEFAULT_STREAM);
                 cpu_clock += est;
                 let completion = cpu_clock;
+                completion_of[gid] = completion;
+                if let Some(a) = alog.as_mut() {
+                    a.record(
+                        completion,
+                        None,
+                        Some(gid),
+                        "cpu_tier",
+                        vec![
+                            ("requests".into(), group.indices.len().to_string()),
+                            ("est".into(), fmt_f64(est)),
+                        ],
+                    );
+                }
                 for &idx in &group.indices {
                     let req = &requests[idx];
                     faults.cpu_fallbacks += 1;
@@ -936,6 +1196,25 @@ impl DeviceFleet {
         let latency = LatencyStats::from_latencies(latencies);
         let path_latency = path_latency_summary(&class_samples);
 
+        // Seal the flight recorder: terminals at each group's lane
+        // completion (prefailed requests at 0.0), latency = completion
+        // (the fleet path has no arrival process).
+        let audit = alog.map(|a| {
+            let mut gid_of: Vec<Option<usize>> = vec![None; requests.len()];
+            for g in &groups {
+                for &i in &g.indices {
+                    gid_of[i] = Some(g.gid);
+                }
+            }
+            let ts_of: Vec<f64> = (0..requests.len())
+                .map(|r| gid_of[r].map(|g| completion_of[g]).unwrap_or(0.0))
+                .collect();
+            let lat_of: Vec<Option<f64>> = (0..requests.len())
+                .map(|r| outcomes[r].response().map(|_| ts_of[r]))
+                .collect();
+            finalize_audit(a, &outcomes, &gid_of, &ts_of, &lat_of, &SloConfig::default())
+        });
+
         ServeReport {
             outcomes,
             makespan,
@@ -956,6 +1235,7 @@ impl DeviceFleet {
             fleet: fleet_tally,
             devices,
             journal: None,
+            audit,
         }
     }
 }

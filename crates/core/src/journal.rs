@@ -38,6 +38,7 @@ use std::collections::HashMap;
 use fft::cplx::Cplx;
 use gpu_sim::{concurrency_profile, merge_op_groups, schedule, CrashPlan};
 
+use crate::audit::{finalize_audit, AuditLog, SloConfig};
 use crate::backend::BackendKind;
 use crate::error::CusFftError;
 use crate::overload::{LatencyStats, OverloadTally};
@@ -800,12 +801,39 @@ impl ServeEngine {
         let stats0 = journal.stats();
         let (groups, prefailed) = self.group_requests(requests);
 
+        let mut alog = if self.config.audit {
+            let mut a = AuditLog::new();
+            a.record(
+                0.0,
+                None,
+                None,
+                "batch_admitted",
+                vec![
+                    ("requests".into(), requests.len().to_string()),
+                    ("groups".into(), groups.len().to_string()),
+                    ("journaled".into(), "true".into()),
+                ],
+            );
+            Some(a)
+        } else {
+            None
+        };
+
         // Validation failures are terminal at admission: durable before
         // any device work.
         let mut tally = FaultTally::default();
         let mut prefailed_outcomes: Vec<(usize, RequestOutcome)> = Vec::new();
         for (idx, err) in prefailed {
             tally.failed += 1;
+            if let Some(a) = alog.as_mut() {
+                a.record(
+                    0.0,
+                    Some(idx),
+                    None,
+                    "invalid",
+                    vec![("reason".into(), err.to_string())],
+                );
+            }
             prefailed_outcomes.push((
                 idx,
                 RequestOutcome::Failed {
@@ -835,6 +863,7 @@ impl ServeEngine {
             opts,
             &mut accum,
             &|_| false,
+            &mut alog,
         );
 
         match run {
@@ -861,6 +890,7 @@ impl ServeEngine {
                     &groups,
                     accum,
                     journal_tally,
+                    alog,
                 )))
             }
         }
@@ -933,6 +963,35 @@ impl ServeEngine {
         let stats0 = journal.stats();
         let (groups, prefailed) = self.group_requests(requests);
 
+        let mut alog = if self.config.audit {
+            let mut a = AuditLog::new();
+            a.record(
+                0.0,
+                None,
+                None,
+                "batch_admitted",
+                vec![
+                    ("requests".into(), requests.len().to_string()),
+                    ("groups".into(), groups.len().to_string()),
+                    ("journaled".into(), "true".into()),
+                    ("resumed".into(), "true".into()),
+                ],
+            );
+            a.record(
+                0.0,
+                None,
+                None,
+                "resume",
+                vec![
+                    ("next_epoch".into(), next_epoch.to_string()),
+                    ("durable_done".into(), durable_done.len().to_string()),
+                ],
+            );
+            Some(a)
+        } else {
+            None
+        };
+
         let mut accum = EpochAccum::new();
         let mut journal_tally = JournalTally::default();
 
@@ -942,9 +1001,27 @@ impl ServeEngine {
         for (idx, err) in prefailed {
             if let Some(outcome) = durable_done.get(&idx) {
                 journal_tally.requests_recovered += 1;
+                if let Some(a) = alog.as_mut() {
+                    a.record(
+                        0.0,
+                        Some(idx),
+                        None,
+                        "recovered",
+                        vec![("source".into(), "journal".into())],
+                    );
+                }
                 accum.outcomes.push((idx, outcome.clone()));
             } else {
                 accum.tally.failed += 1;
+                if let Some(a) = alog.as_mut() {
+                    a.record(
+                        0.0,
+                        Some(idx),
+                        None,
+                        "invalid",
+                        vec![("reason".into(), err.to_string())],
+                    );
+                }
                 let outcome = RequestOutcome::Failed {
                     error: err,
                     after_attempts: 0,
@@ -971,6 +1048,15 @@ impl ServeEngine {
                 journal_tally.groups_recovered += 1;
                 for idx in &g.indices {
                     journal_tally.requests_recovered += 1;
+                    if let Some(a) = alog.as_mut() {
+                        a.record(
+                            0.0,
+                            Some(*idx),
+                            Some(g.gid),
+                            "recovered",
+                            vec![("source".into(), "journal".into())],
+                        );
+                    }
                     accum
                         .outcomes
                         .push((*idx, durable_done[idx].clone()));
@@ -989,6 +1075,7 @@ impl ServeEngine {
             opts,
             &mut accum,
             &|idx| durable_done.contains_key(&idx),
+            &mut alog,
         );
 
         match run {
@@ -1012,6 +1099,7 @@ impl ServeEngine {
                     &groups,
                     accum,
                     journal_tally,
+                    alog,
                 ))))
             }
         }
@@ -1033,6 +1121,7 @@ impl ServeEngine {
         opts: &JournalOptions,
         accum: &mut EpochAccum,
         already_durable: &dyn Fn(usize) -> bool,
+        alog: &mut Option<AuditLog>,
     ) -> Result<u64, u64> {
         let epoch_groups = opts.epoch_groups.max(1);
         let workers = self.config.workers;
@@ -1100,6 +1189,18 @@ impl ServeEngine {
 
             self.checkpoint(journal, epoch, &epoch_outcomes, already_durable);
             checkpoints += 1;
+            if let Some(a) = alog.as_mut() {
+                a.record(
+                    epoch as f64,
+                    None,
+                    None,
+                    "checkpoint",
+                    vec![
+                        ("epoch".into(), epoch.to_string()),
+                        ("durable_bytes".into(), journal.stats().durable_bytes.to_string()),
+                    ],
+                );
+            }
             accum.outcomes.extend(epoch_outcomes);
         }
 
@@ -1108,6 +1209,18 @@ impl ServeEngine {
         if run_groups.is_empty() {
             self.checkpoint(journal, start_epoch, &[], already_durable);
             checkpoints += 1;
+            if let Some(a) = alog.as_mut() {
+                a.record(
+                    start_epoch as f64,
+                    None,
+                    None,
+                    "checkpoint",
+                    vec![
+                        ("epoch".into(), start_epoch.to_string()),
+                        ("durable_bytes".into(), journal.stats().durable_bytes.to_string()),
+                    ],
+                );
+            }
         }
         Ok(checkpoints)
     }
@@ -1121,6 +1234,7 @@ impl ServeEngine {
         groups: &[Group],
         accum: EpochAccum,
         journal_tally: JournalTally,
+        alog: Option<AuditLog>,
     ) -> ServeReport {
         let EpochAccum {
             op_groups,
@@ -1177,6 +1291,40 @@ impl ServeEngine {
             0.0
         };
 
+        // Seal the flight recorder: placements and worker-buffered
+        // decisions fold in gid order (executed groups only — recovered
+        // groups already recorded `recovered` events), terminals at the
+        // request ordinal like the other clockless paths.
+        let audit = alog.map(|mut a| {
+            for g in groups.iter().filter(|g| executed.contains(&g.gid)) {
+                a.record(
+                    0.0,
+                    None,
+                    Some(g.gid),
+                    "group_placed",
+                    vec![
+                        ("members".into(), g.indices.len().to_string()),
+                        ("n".into(), requests[g.indices[0]].time.len().to_string()),
+                        ("k".into(), requests[g.indices[0]].k.to_string()),
+                        ("qos".into(), g.qos.label().into()),
+                        ("backend".into(), g.plan.backend().label().into()),
+                    ],
+                );
+                if let Some(t) = groups_tel.iter().find(|t| t.gid == g.gid) {
+                    a.fold_group(0.0, g.gid, &t.audit);
+                }
+            }
+            let mut gid_of: Vec<Option<usize>> = vec![None; requests.len()];
+            for g in groups {
+                for &i in &g.indices {
+                    gid_of[i] = Some(g.gid);
+                }
+            }
+            let ts_of: Vec<f64> = (0..requests.len()).map(|i| i as f64).collect();
+            let lat_of: Vec<Option<f64>> = vec![None; requests.len()];
+            finalize_audit(a, &outcomes, &gid_of, &ts_of, &lat_of, &SloConfig::default())
+        });
+
         ServeReport {
             outcomes,
             makespan,
@@ -1197,6 +1345,7 @@ impl ServeEngine {
             fleet: crate::fleet::FleetTally::default(),
             devices: Vec::new(),
             journal: Some(journal_tally),
+            audit,
         }
     }
 }

@@ -36,6 +36,10 @@
 //! * [`journal`] — crash-consistent serving: a write-ahead request
 //!   journal with epoch checkpoints and exactly-once restart
 //!   ([`ServeEngine::serve_journaled`] / [`ServeEngine::resume_from`]);
+//! * [`audit`] — the policy flight recorder: every serving-policy
+//!   decision as a causally-linked structured event, with
+//!   [`explain`](audit::explain) decision chains, derived terminal
+//!   causes, and multi-window SLO burn-rate alerting;
 //! * [`chaos`] — a deterministic chaos explorer sweeping fault seeds,
 //!   rate grids, host-crash epochs and fleet device loss, checking a
 //!   reusable invariant suite and shrinking any violation to a minimal
@@ -65,6 +69,7 @@
 //! ```
 
 pub mod arena;
+pub mod audit;
 pub mod backend;
 pub mod comb;
 pub mod cufft;
@@ -84,6 +89,10 @@ pub mod report;
 pub mod serve;
 
 pub use arena::{ArenaStats, ExecArena};
+pub use audit::{
+    derive_cause, explain, is_root_kind, AuditLog, AuditReport, BurnWindow, DecisionChain,
+    SloAlert, SloConfig, SloReport,
+};
 pub use backend::{
     execute_direct, Backend, BackendCaps, BackendKind, BackendRegistry, DenseFftBackend,
     ExecutePlan, GpuSimBackend, SfftCpuBackend,

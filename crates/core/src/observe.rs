@@ -8,7 +8,8 @@
 //! are pinned as golden snapshots in CI.
 
 use cusfft_telemetry::{
-    build_span_tree, chrome_trace, GroupMeta, Registry, RequestMeta, SpanTree,
+    build_span_tree, chrome_trace_annotated, fmt_f64, GroupMeta, Registry, RequestMeta, SpanTree,
+    TraceAnnotation,
 };
 
 use crate::serve::{RequestOutcome, ServeReport};
@@ -146,19 +147,20 @@ pub fn metrics_registry(report: &ServeReport) -> Registry {
         );
         if let Some(resp) = o.response() {
             let help = "Completed requests by execution path, QoS tier and backend";
-            let base = [
+            let mut labels = vec![
                 ("path", resp.path.label()),
                 ("qos", resp.qos.label()),
                 ("backend", resp.backend.label()),
             ];
-            match &device_of_request[idx] {
-                Some(device) => {
-                    let mut labels = base.to_vec();
-                    labels.push(("device", device));
-                    r.counter_add("cusfft_served_total", help, &labels, 1);
-                }
-                None => r.counter_add("cusfft_served_total", help, &base, 1),
+            // Audited reports carry the derived terminal cause; gating
+            // on presence keeps unaudited exports byte-identical.
+            if let Some(audit) = report.audit.as_deref() {
+                labels.push(("cause", audit.causes[idx].as_str()));
             }
+            if let Some(device) = &device_of_request[idx] {
+                labels.push(("device", device));
+            }
+            r.counter_add("cusfft_served_total", help, &labels, 1);
         }
     }
 
@@ -252,6 +254,43 @@ pub fn metrics_registry(report: &ServeReport) -> Registry {
             &[],
             j.durable_bytes as f64,
         );
+    }
+
+    // Flight-recorder and SLO series, gated on the audit report so
+    // unaudited registries (and their goldens) are unchanged.
+    if let Some(audit) = report.audit.as_deref() {
+        let mut by_kind: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for e in &audit.log.events {
+            *by_kind.entry(e.name.as_str()).or_insert(0) += 1;
+        }
+        for (kind, count) in by_kind {
+            r.counter_add(
+                "cusfft_audit_events_total",
+                "Flight-recorder decision events by kind",
+                &[("kind", kind)],
+                count,
+            );
+        }
+        r.gauge_set(
+            "cusfft_slo_availability",
+            "Fraction of terminated requests that produced a response",
+            &[],
+            audit.slo.availability,
+        );
+        r.gauge_set(
+            "cusfft_slo_latency_attainment",
+            "Fraction of responses meeting the latency objective",
+            &[],
+            audit.slo.latency_attainment,
+        );
+        for alert in &audit.slo.alerts {
+            r.counter_add(
+                "cusfft_slo_alerts_total",
+                "Multi-window burn-rate alerts fired",
+                &[("slo", &alert.slo), ("window", &alert.window)],
+                1,
+            );
+        }
     }
 
     // Plan cache.
@@ -496,8 +535,53 @@ pub fn metrics_registry(report: &ServeReport) -> Registry {
 }
 
 /// Renders the Chrome/Perfetto Trace Event JSON for a serve call (see
-/// [`cusfft_telemetry::chrome`] for the track layout).
+/// [`cusfft_telemetry::chrome`] for the track layout). Audited reports
+/// gain a "policy decisions" process carrying breaker transitions and
+/// SLO burn-rate alerts as instant events; unaudited output is
+/// byte-identical to before.
 pub fn chrome_trace_json(report: &ServeReport) -> String {
     let tree = span_tree(report);
-    chrome_trace(&report.timeline.ops, &report.timeline.sched, &tree)
+    let notes = report
+        .audit
+        .as_deref()
+        .map(trace_annotations)
+        .unwrap_or_default();
+    chrome_trace_annotated(&report.timeline.ops, &report.timeline.sched, &tree, &notes)
+}
+
+fn trace_annotations(audit: &crate::audit::AuditReport) -> Vec<TraceAnnotation> {
+    let mut notes = Vec::new();
+    for e in &audit.log.events {
+        if e.name != "breaker_transition" {
+            continue;
+        }
+        let attr = |key: &str| {
+            e.attrs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("?")
+        };
+        notes.push(TraceAnnotation {
+            ts: e.ts,
+            name: format!("breaker:{}->{}", attr("from"), attr("to")),
+            cat: "breaker".into(),
+            args: e.attrs.clone(),
+        });
+    }
+    for alert in &audit.slo.alerts {
+        notes.push(TraceAnnotation {
+            ts: alert.ts,
+            name: format!("slo_alert:{}", alert.slo),
+            cat: "slo".into(),
+            args: vec![
+                ("slo".into(), alert.slo.clone()),
+                ("window".into(), alert.window.clone()),
+                ("long_burn".into(), fmt_f64(alert.long_burn)),
+                ("short_burn".into(), fmt_f64(alert.short_burn)),
+                ("threshold".into(), fmt_f64(alert.threshold)),
+            ],
+        });
+    }
+    notes
 }

@@ -60,6 +60,9 @@ use gpu_sim::{
 };
 use sfft_cpu::SfftParams;
 
+use cusfft_telemetry::fmt_f64;
+
+use crate::audit::{finalize_audit, AuditLog, GroupAuditEvent, SloConfig};
 use crate::backend::{worker_device, Backend, BackendKind, GpuSimBackend, SfftCpuBackend};
 use crate::error::CusFftError;
 use crate::pipeline::ExecStreams;
@@ -259,7 +262,17 @@ pub(crate) fn run_group_on_device(
     device.set_fault_scope_salt(scope_salt);
     let streams = ExecStreams::on_device_private(&device, group.plan.num_streams());
     let mut tally = FaultTally::default();
-    let results = run_group(&device, group, requests, &streams, cfg, &mut tally, hedged);
+    let mut audit = Vec::new();
+    let results = run_group(
+        &device,
+        group,
+        requests,
+        &streams,
+        cfg,
+        &mut tally,
+        hedged,
+        &mut audit,
+    );
     tally.injected = device.faults_injected();
     let ops = device.ops();
     let duration = schedule(&ops, spec.max_concurrent_kernels).makespan;
@@ -274,6 +287,7 @@ pub(crate) fn run_group_on_device(
             reuse_hits: arena.reuse_hits,
             fresh_misses: arena.fresh_misses,
         },
+        audit,
     };
     GroupRun {
         gid: group.gid,
@@ -475,6 +489,16 @@ impl ServeEngine {
         );
         let cfg = self.config;
         let mut overload = OverloadTally::default();
+        // The flight recorder. Admission verdicts are recorded here in
+        // arrival order (they root the decision forest); coordinator
+        // decisions made during epoch execution are buffered per gid and
+        // folded onto the phase-5 virtual clock, so event ids stay
+        // invariant under worker count and epoch parallelism.
+        let mut alog = if cfg.audit {
+            Some(AuditLog::new())
+        } else {
+            None
+        };
         // Control-plane markers (sheds, breaker events) are recorded on
         // their own device so they merge into the timeline exactly once,
         // in decision order.
@@ -495,6 +519,15 @@ impl ServeEngine {
         for (idx, t) in trace.iter().enumerate() {
             let req = &t.request;
             if let Err(e) = validate_request(req) {
+                if let Some(a) = alog.as_mut() {
+                    a.record(
+                        t.arrival,
+                        Some(idx),
+                        None,
+                        "invalid",
+                        vec![("reason".into(), e.to_string())],
+                    );
+                }
                 outcomes[idx] = Some(RequestOutcome::Failed {
                     error: e,
                     after_attempts: 0,
@@ -502,10 +535,18 @@ impl ServeEngine {
                 continue;
             }
             let Some(backend) = self.registry.get(req.backend) else {
+                let reason = format!("backend {} is not registered", req.backend.label());
+                if let Some(a) = alog.as_mut() {
+                    a.record(
+                        t.arrival,
+                        Some(idx),
+                        None,
+                        "invalid",
+                        vec![("reason".into(), reason.clone())],
+                    );
+                }
                 outcomes[idx] = Some(RequestOutcome::Failed {
-                    error: CusFftError::BadRequest {
-                        reason: format!("backend {} is not registered", req.backend.label()),
-                    },
+                    error: CusFftError::BadRequest { reason },
                     after_attempts: 0,
                 });
                 continue;
@@ -515,6 +556,18 @@ impl ServeEngine {
             if depth >= policy.queue_capacity {
                 overload.shed += 1;
                 control.charge_host_op("shed:queue", 0.0, DEFAULT_STREAM);
+                if let Some(a) = alog.as_mut() {
+                    a.record(
+                        t.arrival,
+                        Some(idx),
+                        None,
+                        "shed",
+                        vec![
+                            ("depth".into(), depth.to_string()),
+                            ("capacity".into(), policy.queue_capacity.to_string()),
+                        ],
+                    );
+                }
                 outcomes[idx] = Some(RequestOutcome::Shed { queue_depth: depth });
                 continue;
             }
@@ -538,6 +591,19 @@ impl ServeEngine {
                 if predicted > deadline {
                     overload.deadline_exceeded += 1;
                     control.charge_host_op("shed:deadline", 0.0, DEFAULT_STREAM);
+                    if let Some(a) = alog.as_mut() {
+                        a.record(
+                            t.arrival,
+                            Some(idx),
+                            None,
+                            "deadline_rejected",
+                            vec![
+                                ("predicted".into(), fmt_f64(predicted)),
+                                ("deadline".into(), fmt_f64(deadline)),
+                                ("est".into(), fmt_f64(est)),
+                            ],
+                        );
+                    }
                     outcomes[idx] = Some(RequestOutcome::DeadlineExceeded {
                         predicted,
                         deadline,
@@ -546,6 +612,33 @@ impl ServeEngine {
                 }
             }
             overload.admitted += 1;
+            if let Some(a) = alog.as_mut() {
+                a.record(
+                    t.arrival,
+                    Some(idx),
+                    None,
+                    "admitted",
+                    vec![
+                        ("depth".into(), depth.to_string()),
+                        ("qos".into(), qos.label().into()),
+                        ("est".into(), fmt_f64(est)),
+                        ("finish".into(), fmt_f64(finish)),
+                    ],
+                );
+                if qos == ServeQos::Degraded {
+                    // Chains under the admission via the request link.
+                    a.record(
+                        t.arrival,
+                        Some(idx),
+                        None,
+                        "brownout",
+                        vec![
+                            ("depth".into(), depth.to_string()),
+                            ("threshold".into(), policy.brownout_depth.to_string()),
+                        ],
+                    );
+                }
+            }
             if qos == ServeQos::Degraded {
                 overload.degraded += 1;
             }
@@ -591,19 +684,69 @@ impl ServeEngine {
         // runs on this thread.
         let mut breaker = CircuitBreaker::new(policy.breaker);
         let mut runs: Vec<Option<GroupRun>> = (0..groups.len()).map(|_| None).collect();
+        // Coordinator decisions buffered per gid for the audit fold:
+        // `pre` at the group's virtual start (admit-time breaker
+        // decisions), `post` at its completion (observe-time transitions
+        // and hedge outcomes).
+        let mut pre: Vec<Vec<GroupAuditEvent>> = vec![Vec::new(); groups.len()];
+        let mut post: Vec<Vec<GroupAuditEvent>> = vec![Vec::new(); groups.len()];
+        let mut seen_tr = 0usize;
+        // Pushes breaker transitions recorded since the last call onto
+        // gid's buffer — called right after each admit/observe, so every
+        // transition is attributed to the decision that caused it.
+        fn note_transitions(
+            buf: &mut Vec<GroupAuditEvent>,
+            breaker: &CircuitBreaker,
+            seen: &mut usize,
+            enabled: bool,
+        ) {
+            let transitions = breaker.transitions();
+            if enabled {
+                for tr in &transitions[*seen..] {
+                    buf.push(GroupAuditEvent {
+                        request: None,
+                        kind: "breaker_transition",
+                        attrs: vec![
+                            ("from".into(), tr.from.label().into()),
+                            ("to".into(), tr.to.label().into()),
+                        ],
+                    });
+                }
+            }
+            *seen = transitions.len();
+        }
         let gids: Vec<usize> = (0..groups.len()).collect();
         for epoch in gids.chunks(policy.epoch_groups.max(1)) {
             let mut live: Vec<&Group> = Vec::new();
             for &gid in epoch {
-                match breaker.admit(gid) {
+                let decision = breaker.admit(gid);
+                note_transitions(&mut pre[gid], &breaker, &mut seen_tr, cfg.audit);
+                match decision {
                     BreakerDecision::Admit => live.push(&groups[gid]),
                     BreakerDecision::Probe => {
                         overload.breaker_probes += 1;
                         control.charge_host_op("breaker:probe", 0.0, DEFAULT_STREAM);
+                        if cfg.audit {
+                            pre[gid].push(GroupAuditEvent {
+                                request: None,
+                                kind: "breaker_probe",
+                                attrs: Vec::new(),
+                            });
+                        }
                         live.push(&groups[gid]);
                     }
                     BreakerDecision::ShortCircuit => {
                         control.charge_host_op("breaker:short_circuit", 0.0, DEFAULT_STREAM);
+                        if cfg.audit {
+                            pre[gid].push(GroupAuditEvent {
+                                request: None,
+                                kind: "short_circuit",
+                                attrs: vec![(
+                                    "fallback".into(),
+                                    if cfg.cpu_fallback { "cpu" } else { "fail" }.into(),
+                                )],
+                            });
+                        }
                         runs[gid] =
                             Some(short_circuit_group(&groups[gid], &requests, &cfg, &mut overload));
                     }
@@ -612,6 +755,7 @@ impl ServeEngine {
             for run in execute_wave(&self.spec, &cfg, &live, &requests, cfg.workers, false) {
                 let gid = run.gid;
                 breaker.observe(gid, run.faulted);
+                note_transitions(&mut post[gid], &breaker, &mut seen_tr, cfg.audit);
                 runs[gid] = Some(run);
             }
         }
@@ -648,7 +792,27 @@ impl ServeEngine {
                 let gid = hedge.gid;
                 hedged_gids.push(gid);
                 let primary = runs[gid].take().expect("straggler has a primary run");
-                let (mut winner, loser) = if hedge.duration < primary.duration {
+                let hedge_won = hedge.duration < primary.duration;
+                if cfg.audit {
+                    post[gid].push(GroupAuditEvent {
+                        request: None,
+                        kind: "hedge_fired",
+                        attrs: vec![
+                            ("primary".into(), fmt_f64(primary.duration)),
+                            ("hedge".into(), fmt_f64(hedge.duration)),
+                            ("budget".into(), fmt_f64(budget)),
+                        ],
+                    });
+                    post[gid].push(GroupAuditEvent {
+                        request: None,
+                        kind: "hedge_resolved",
+                        attrs: vec![(
+                            "winner".into(),
+                            if hedge_won { "hedge" } else { "primary" }.into(),
+                        )],
+                    });
+                }
+                let (mut winner, loser) = if hedge_won {
                     overload.hedge_wins += 1;
                     (hedge, primary)
                 } else {
@@ -677,11 +841,38 @@ impl ServeEngine {
         // gid order (short-circuited groups complete instantly).
         let mut latencies: Vec<f64> = Vec::new();
         let mut class_samples: Vec<(ServePath, ServeQos, f64)> = Vec::new();
+        let mut completion_of: Vec<f64> = vec![0.0; groups.len()];
         let mut clock = 0.0f64;
         for gid in 0..groups.len() {
             let run = runs[gid].as_ref().expect("every group resolves to a run");
-            let completion = clock.max(group_arrival[gid]) + run.duration;
+            let start = clock.max(group_arrival[gid]);
+            let completion = start + run.duration;
             clock = completion;
+            completion_of[gid] = completion;
+            if let Some(a) = alog.as_mut() {
+                // The group's placement links to its first member's
+                // admission; everything buffered for the gid folds onto
+                // the virtual clock (decisions at start, execution
+                // events at completion) in gid order — invariant under
+                // worker count and epoch chunking.
+                let parent = groups[gid].indices.first().and_then(|&i| a.admission_of(i));
+                a.record_linked(
+                    start,
+                    None,
+                    Some(gid),
+                    "group_placed",
+                    vec![
+                        ("members".into(), groups[gid].indices.len().to_string()),
+                        ("qos".into(), group_keys[gid].qos.label().into()),
+                        ("arrival".into(), fmt_f64(group_arrival[gid])),
+                        ("duration".into(), fmt_f64(run.duration)),
+                    ],
+                    parent,
+                );
+                a.fold_group(start, gid, &pre[gid]);
+                a.fold_group(completion, gid, &run.tel.audit);
+                a.fold_group(completion, gid, &post[gid]);
+            }
             for (idx, outcome) in &run.results {
                 if let Some(resp) = outcome.response() {
                     let lat = completion - trace[*idx].arrival;
@@ -742,6 +933,32 @@ impl ServeEngine {
             0.0
         };
 
+        let audit = alog.map(|a| {
+            let mut gid_of: Vec<Option<usize>> = vec![None; trace.len()];
+            for g in &groups {
+                for &i in &g.indices {
+                    gid_of[i] = Some(g.gid);
+                }
+            }
+            // Terminals land at the group's virtual completion for
+            // executed requests, at arrival for rejected ones.
+            let ts_of: Vec<f64> = (0..trace.len())
+                .map(|i| {
+                    gid_of[i]
+                        .map(|g| completion_of[g])
+                        .unwrap_or(trace[i].arrival)
+                })
+                .collect();
+            let lat_of: Vec<Option<f64>> = (0..trace.len())
+                .map(|i| {
+                    outcomes[i]
+                        .response()
+                        .map(|_| ts_of[i] - trace[i].arrival)
+                })
+                .collect();
+            finalize_audit(a, &outcomes, &gid_of, &ts_of, &lat_of, &SloConfig::default())
+        });
+
         ServeReport {
             outcomes,
             makespan,
@@ -762,6 +979,7 @@ impl ServeEngine {
             fleet: crate::fleet::FleetTally::default(),
             devices: Vec::new(),
             journal: None,
+            audit,
         }
     }
 }

@@ -65,7 +65,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use cusfft_telemetry::{tag_batch, tag_fallback, tag_retry};
+use cusfft_telemetry::{fmt_f64, tag_batch, tag_fallback, tag_retry};
 use fft::cplx::Cplx;
 use gpu_sim::{
     concurrency_profile, merge_op_groups, schedule, ConcurrencyProfile, DeviceSpec, FaultConfig,
@@ -153,6 +153,12 @@ pub struct ServeConfig {
     /// Re-route exhausted requests to the [`SfftCpuBackend`] instead of
     /// failing them.
     pub cpu_fallback: bool,
+    /// Record the policy flight recorder ([`crate::audit`]): every
+    /// serving-policy decision lands in [`ServeReport::audit`] as a
+    /// causally-linked event, plus derived terminal causes and SLO
+    /// burn-rate alerts. Off by default so unaudited reports (and their
+    /// golden telemetry exports) are byte-identical to before.
+    pub audit: bool,
 }
 
 impl Default for ServeConfig {
@@ -163,6 +169,7 @@ impl Default for ServeConfig {
             faults: None,
             max_retries: 2,
             cpu_fallback: true,
+            audit: false,
         }
     }
 }
@@ -436,6 +443,9 @@ pub(crate) struct GroupTelemetry {
     pub(crate) gid: usize,
     pub(crate) kernels: Vec<KernelRollup>,
     pub(crate) pool: PoolTally,
+    /// Worker-side policy decisions (evictions, retries, fallbacks)
+    /// buffered for the audit log; empty unless [`ServeConfig::audit`].
+    pub(crate) audit: Vec<crate::audit::GroupAuditEvent>,
 }
 
 /// Rolls a recording slice up by normalized kernel name, sorted by name
@@ -535,6 +545,10 @@ pub struct ServeReport {
     /// Request-journal counters (`None` outside the journaled paths
     /// [`ServeEngine::serve_journaled`] / [`ServeEngine::resume_from`]).
     pub journal: Option<crate::journal::JournalTally>,
+    /// The policy flight recorder's output (`None` unless
+    /// [`ServeConfig::audit`] is on): the decision event log, derived
+    /// terminal causes, and the SLO burn-rate report.
+    pub audit: Option<Box<crate::audit::AuditReport>>,
 }
 
 impl ServeReport {
@@ -656,6 +670,25 @@ impl ServeEngine {
     pub fn serve_batch(&self, requests: &[ServeRequest]) -> ServeReport {
         let (groups, prefailed) = self.group_requests(requests);
         let num_groups = groups.len();
+        // The flight recorder's batch-level root. The plain batch path
+        // has no virtual clock, so group-scope events carry ts 0.0 and
+        // terminals use the request index as a logical ordinal.
+        let mut alog = if self.config.audit {
+            let mut a = crate::audit::AuditLog::new();
+            a.record(
+                0.0,
+                None,
+                None,
+                "batch_admitted",
+                vec![
+                    ("requests".into(), requests.len().to_string()),
+                    ("groups".into(), num_groups.to_string()),
+                ],
+            );
+            Some(a)
+        } else {
+            None
+        };
         let workers = self.config.workers;
         let config = self.config;
 
@@ -733,6 +766,15 @@ impl ServeEngine {
             pool.absorb(&t.pool);
         }
         for (idx, err) in prefailed {
+            if let Some(a) = alog.as_mut() {
+                a.record(
+                    0.0,
+                    Some(idx),
+                    None,
+                    "invalid",
+                    vec![("reason".into(), err.to_string())],
+                );
+            }
             faults.failed += 1;
             outcomes[idx] = Some(RequestOutcome::Failed {
                 error: err,
@@ -769,6 +811,43 @@ impl ServeEngine {
             })
             .collect();
 
+        let audit = alog.map(|mut a| {
+            let mut gid_of: Vec<Option<usize>> = vec![None; requests.len()];
+            // gid order = audit fold order, so event ids are invariant
+            // under the worker count (groups_tel is gid-sorted above).
+            for g in &groups {
+                a.record(
+                    0.0,
+                    None,
+                    Some(g.gid),
+                    "group_placed",
+                    vec![
+                        ("members".into(), g.indices.len().to_string()),
+                        ("n".into(), requests[g.indices[0]].time.len().to_string()),
+                        ("k".into(), requests[g.indices[0]].k.to_string()),
+                        ("qos".into(), g.qos.label().into()),
+                        ("backend".into(), g.plan.backend().label().into()),
+                    ],
+                );
+                for &idx in &g.indices {
+                    gid_of[idx] = Some(g.gid);
+                }
+                if let Some(t) = groups_tel.iter().find(|t| t.gid == g.gid) {
+                    a.fold_group(0.0, g.gid, &t.audit);
+                }
+            }
+            let ts_of: Vec<f64> = (0..requests.len()).map(|i| i as f64).collect();
+            let lat_of: Vec<Option<f64>> = vec![None; requests.len()];
+            crate::audit::finalize_audit(
+                a,
+                &outcomes,
+                &gid_of,
+                &ts_of,
+                &lat_of,
+                &crate::audit::SloConfig::default(),
+            )
+        });
+
         ServeReport {
             outcomes,
             makespan,
@@ -789,6 +868,7 @@ impl ServeEngine {
             fleet: crate::fleet::FleetTally::default(),
             devices: Vec::new(),
             journal: None,
+            audit,
         }
     }
 
@@ -888,8 +968,16 @@ pub(crate) fn run_worker(
         let alloc0 = device.pool_alloc_ops();
         let release0 = device.pool_release_ops();
         let arena0 = streams.arena.stats();
+        let mut group_audit = Vec::new();
         results.extend(run_group(
-            &device, group, requests, &streams, cfg, &mut tally, false,
+            &device,
+            group,
+            requests,
+            &streams,
+            cfg,
+            &mut tally,
+            false,
+            &mut group_audit,
         ));
         // Everything recorded/charged since the previous group boundary
         // belongs to this group: run_group resets the arena on both
@@ -905,6 +993,7 @@ pub(crate) fn run_worker(
                 reuse_hits: arena1.reuse_hits - arena0.reuse_hits,
                 fresh_misses: arena1.fresh_misses - arena0.fresh_misses,
             },
+            audit: group_audit,
         });
         rec_base = records.len();
     }
@@ -940,6 +1029,7 @@ fn run_caught<T>(
 /// every index in the group. `hedged` selects the hedge fault scopes so
 /// a hedged duplicate rolls independent fault decisions from its
 /// primary.
+#[allow(clippy::too_many_arguments)] // worker-call plumbing, not an API
 pub(crate) fn run_group(
     device: &GpuDevice,
     group: &Group,
@@ -948,7 +1038,24 @@ pub(crate) fn run_group(
     cfg: &ServeConfig,
     tally: &mut FaultTally,
     hedged: bool,
+    audit: &mut Vec<crate::audit::GroupAuditEvent>,
 ) -> Vec<(usize, RequestOutcome)> {
+    use crate::audit::GroupAuditEvent;
+    // Buffers a worker-side decision for the audit fold. Recording is
+    // deferred (and gated) so the hot path stays allocation-free when
+    // auditing is off and event ids stay worker-count invariant.
+    let note = |audit: &mut Vec<GroupAuditEvent>,
+                request: usize,
+                kind: &'static str,
+                attrs: Vec<(String, String)>| {
+        if cfg.audit {
+            audit.push(GroupAuditEvent {
+                request: Some(request),
+                kind,
+                attrs,
+            });
+        }
+    };
     let g = group.gid;
     let plan = &group.plan;
     let nreq = group.indices.len();
@@ -989,6 +1096,15 @@ pub(crate) fn run_group(
             tally.note(&e);
             for (j, slot) in last_err.iter_mut().enumerate().take(nreq) {
                 tally.evictions += 1;
+                note(
+                    audit,
+                    group.indices[j],
+                    "evicted",
+                    vec![
+                        ("stage".into(), "stage".into()),
+                        ("error".into(), e.class_label().into()),
+                    ],
+                );
                 *slot = Some(e.clone());
                 individual.push(j);
                 preps.push(None);
@@ -1005,6 +1121,15 @@ pub(crate) fn run_group(
                     Err(e) => {
                         tally.evictions += 1;
                         tally.note(&e);
+                        note(
+                            audit,
+                            idx,
+                            "evicted",
+                            vec![
+                                ("stage".into(), "prepare".into()),
+                                ("error".into(), e.class_label().into()),
+                            ],
+                        );
                         last_err[j] = Some(e);
                         individual.push(j);
                         preps.push(None);
@@ -1030,6 +1155,15 @@ pub(crate) fn run_group(
             tally.note(&e);
             for &j in &survivors {
                 tally.evictions += 1;
+                note(
+                    audit,
+                    group.indices[j],
+                    "evicted",
+                    vec![
+                        ("stage".into(), "batched_fft".into()),
+                        ("error".into(), e.class_label().into()),
+                    ],
+                );
                 last_err[j] = Some(e.clone());
                 individual.push(j);
                 preps[j] = None;
@@ -1071,6 +1205,15 @@ pub(crate) fn run_group(
                         Err(e) => {
                             tally.evictions += 1;
                             tally.note(&e);
+                            note(
+                                audit,
+                                group.indices[j],
+                                "evicted",
+                                vec![
+                                    ("stage".into(), "finish".into()),
+                                    ("error".into(), e.class_label().into()),
+                                ],
+                            );
                             last_err[j] = Some(e);
                             individual.push(j);
                         }
@@ -1081,6 +1224,15 @@ pub(crate) fn run_group(
                 for &j in &survivors {
                     tally.evictions += 1;
                     tally.note(&e);
+                    note(
+                        audit,
+                        group.indices[j],
+                        "evicted",
+                        vec![
+                            ("stage".into(), "finish".into()),
+                            ("error".into(), e.class_label().into()),
+                        ],
+                    );
                     last_err[j] = Some(e.clone());
                     individual.push(j);
                 }
@@ -1099,6 +1251,15 @@ pub(crate) fn run_group(
             // Deterministic exponential backoff, visible on the timeline
             // but contending for no device resource.
             let backoff = RETRY_BACKOFF_BASE * (1u64 << (attempt - 1)) as f64;
+            note(
+                audit,
+                group.indices[j],
+                "retry_attempt",
+                vec![
+                    ("attempt".into(), attempt.to_string()),
+                    ("backoff".into(), fmt_f64(backoff)),
+                ],
+            );
             device.set_op_tag(tag_retry(g, j, attempt, plan.backend().code(), hedged));
             device.charge_host_op("retry_backoff", backoff, streams.main);
             device.set_fault_scope(scope_retry(g, j, attempt, hedged));
@@ -1121,6 +1282,15 @@ pub(crate) fn run_group(
                 }
                 Err(e) => {
                     tally.note(&e);
+                    note(
+                        audit,
+                        group.indices[j],
+                        "retry_failed",
+                        vec![
+                            ("attempt".into(), attempt.to_string()),
+                            ("error".into(), e.class_label().into()),
+                        ],
+                    );
                     last_err[j] = Some(e);
                 }
             }
@@ -1129,6 +1299,12 @@ pub(crate) fn run_group(
             Some(resp) => RequestOutcome::Done(resp),
             None if cfg.cpu_fallback => {
                 tally.cpu_fallbacks += 1;
+                note(
+                    audit,
+                    group.indices[j],
+                    "cpu_fallback",
+                    vec![("backend".into(), "sfft_cpu".into())],
+                );
                 // Zero-duration marker: the re-route is visible on the
                 // timeline without inventing a device cost for CPU work.
                 device.set_op_tag(tag_fallback(g, j, BackendKind::SfftCpu.code(), hedged));

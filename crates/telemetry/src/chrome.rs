@@ -45,9 +45,44 @@ fn event_args(pairs: &[(String, String)]) -> String {
     s
 }
 
+/// A non-op annotation rendered into the trace as an instant event on
+/// the dedicated policy process (pid 4): breaker state transitions, SLO
+/// burn-rate alerts — anything that explains the spans around it but
+/// does not occupy a stream. Annotations on the same track are sorted by
+/// `(ts, name)` before emission so per-track `ts` monotonicity (which
+/// [`validate_chrome_trace`] enforces) holds by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnnotation {
+    /// Simulated-clock timestamp in seconds.
+    pub ts: f64,
+    /// Event name shown in the viewer.
+    pub name: String,
+    /// Category (`cat` field), e.g. `"breaker"` or `"slo"`; also picks
+    /// the annotation thread it lands on.
+    pub cat: String,
+    /// Flat key/value args.
+    pub args: Vec<(String, String)>,
+}
+
 /// Renders the trace. `ops`/`sched` is the merged timeline; `tree` the
 /// span tree built over it (see [`crate::span::build_span_tree`]).
+/// Equivalent to [`chrome_trace_annotated`] with no annotations, so
+/// existing golden traces are byte-identical.
 pub fn chrome_trace(ops: &[Op], sched: &Schedule, tree: &SpanTree) -> String {
+    chrome_trace_annotated(ops, sched, tree, &[])
+}
+
+/// Renders the trace with policy annotations: everything
+/// [`chrome_trace`] emits, plus one instant event per
+/// [`TraceAnnotation`] on pid 4 ("policy"), one thread per category in
+/// first-appearance order. With an empty `notes` slice the output is
+/// byte-identical to [`chrome_trace`].
+pub fn chrome_trace_annotated(
+    ops: &[Op],
+    sched: &Schedule,
+    tree: &SpanTree,
+    notes: &[TraceAnnotation],
+) -> String {
     let mut events: Vec<String> = Vec::new();
     let meta = |pid: u32, tid: Option<u64>, what: &str, name: &str| -> String {
         let (ev, tid_field) = match tid {
@@ -64,6 +99,21 @@ pub fn chrome_trace(ops: &[Op], sched: &Schedule, tree: &SpanTree) -> String {
     events.push(meta(1, None, "process_name", "device timeline (merged streams)"));
     events.push(meta(2, None, "process_name", "serve spans"));
     events.push(meta(3, None, "process_name", "requests"));
+    // Annotation categories, one policy thread each, in first-appearance
+    // order. Nothing is emitted when there are no annotations, keeping
+    // annotation-free traces byte-identical to the pre-annotation writer.
+    let mut note_cats: Vec<&str> = Vec::new();
+    for n in notes {
+        if !note_cats.contains(&n.cat.as_str()) {
+            note_cats.push(&n.cat);
+        }
+    }
+    if !notes.is_empty() {
+        events.push(meta(4, None, "process_name", "policy decisions"));
+        for (tid, cat) in note_cats.iter().enumerate() {
+            events.push(meta(4, Some(tid as u64), "thread_name", cat));
+        }
+    }
     let mut streams: Vec<u32> = ops.iter().map(|o| o.stream.0).collect();
     streams.sort_unstable();
     streams.dedup();
@@ -171,6 +221,28 @@ pub fn chrome_trace(ops: &[Op], sched: &Schedule, tree: &SpanTree) -> String {
                 "{{\"ph\": \"i\", \"pid\": 3, \"tid\": {tid}, \"ts\": {}, \"s\": \"t\", \"name\": {}, \"cat\": \"request\", \"args\": {args}}}",
                 fmt_us(r.start),
                 json_str(&r.name),
+            ));
+        }
+    }
+
+    // --- pid 4: policy annotations --------------------------------------
+    // Per category (= track), sorted by (ts, name) so per-track ts is
+    // non-decreasing regardless of producer order.
+    for (tid, cat) in note_cats.iter().enumerate() {
+        let mut on_track: Vec<&TraceAnnotation> =
+            notes.iter().filter(|n| n.cat == *cat).collect();
+        on_track.sort_by(|a, b| {
+            a.ts.partial_cmp(&b.ts)
+                .unwrap()
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        for n in on_track {
+            let args = event_args(&n.args);
+            events.push(format!(
+                "{{\"ph\": \"i\", \"pid\": 4, \"tid\": {tid}, \"ts\": {}, \"s\": \"t\", \"name\": {}, \"cat\": {}, \"args\": {args}}}",
+                fmt_us(n.ts),
+                json_str(&n.name),
+                json_str(cat),
             ));
         }
     }
@@ -305,6 +377,41 @@ mod tests {
         assert!(summary.tracks >= 2);
         // Byte-determinism of the writer itself.
         assert_eq!(trace, chrome_trace(&ops, &sched, &tree));
+    }
+
+    #[test]
+    fn annotated_trace_validates_and_empty_notes_change_nothing() {
+        let ops = vec![Op::new(0, StreamId(1), Engine::Device, 1e-3, "exec".into())];
+        let sched = schedule(&ops, 32);
+        let tree = build_span_tree(&ops, &sched, &[], &[]);
+        let plain = chrome_trace(&ops, &sched, &tree);
+        assert_eq!(plain, chrome_trace_annotated(&ops, &sched, &tree, &[]));
+        // Out-of-order annotations are sorted per track before emission.
+        let notes = vec![
+            TraceAnnotation {
+                ts: 2e-3,
+                name: "slo_alert".into(),
+                cat: "slo".into(),
+                args: vec![("window".into(), "fast".into())],
+            },
+            TraceAnnotation {
+                ts: 1e-3,
+                name: "breaker:closed->open".into(),
+                cat: "breaker".into(),
+                args: vec![],
+            },
+            TraceAnnotation {
+                ts: 0.5e-3,
+                name: "slo_alert".into(),
+                cat: "slo".into(),
+                args: vec![("window".into(), "slow".into())],
+            },
+        ];
+        let annotated = chrome_trace_annotated(&ops, &sched, &tree, &notes);
+        let summary = validate_chrome_trace(&annotated).unwrap();
+        assert!(summary.events > validate_chrome_trace(&plain).unwrap().events);
+        assert!(annotated.contains("\"policy decisions\""));
+        assert!(annotated.contains("breaker:closed->open"));
     }
 
     #[test]

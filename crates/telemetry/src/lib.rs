@@ -13,7 +13,10 @@
 //!   snapshot;
 //! * [`chrome`] — a Chrome/Perfetto Trace Event writer (streams as
 //!   tracks, faults and breaker transitions as instant events) plus a
-//!   schema validator built on the in-crate [`json`] parser.
+//!   schema validator built on the in-crate [`json`] parser;
+//! * [`events`] — a causally-linked structured event log (dense ids,
+//!   parent links forming a forest, deterministic text/JSON renderers)
+//!   that `cusfft::audit` builds the policy flight recorder on.
 //!
 //! The crate depends only on `gpu-sim`; the `cusfft::observe` module
 //! adapts `ServeReport`s into these types, and `reproduce trace` writes
@@ -22,11 +25,13 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod span;
 
-pub use chrome::{chrome_trace, validate_chrome_trace, TraceSummary};
+pub use chrome::{chrome_trace, chrome_trace_annotated, validate_chrome_trace, TraceAnnotation, TraceSummary};
+pub use events::{Event, EventLog};
 pub use json::{parse as parse_json, JsonValue};
 pub use metrics::{fmt_f64, Histogram, MetricKind, Registry, Sample, HIST_BOUNDS};
 pub use span::{
